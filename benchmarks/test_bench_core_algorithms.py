@@ -1,0 +1,102 @@
+"""Micro-benchmarks of the four SimRank algorithms on one dataset.
+
+These are the per-query building blocks of Fig. 9: the wall-clock time of a
+single similarity query with Baseline, Sampling, SR-TS and SR-SP on the
+Net-like analogue dataset.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import baseline_simrank
+from repro.core.sampling import sampling_simrank
+from repro.core.speedup import FilterVectors
+from repro.core.two_phase import two_phase_simrank
+from repro.core.walks import AlphaCache
+from repro.datasets.registry import load_dataset
+from repro.graph.generators import related_vertex_pairs
+
+ITERATIONS = 4
+NUM_WALKS = 300
+
+
+@pytest.fixture(scope="module")
+def net_graph():
+    return load_dataset("net")
+
+
+@pytest.fixture(scope="module")
+def query_pair(net_graph):
+    return related_vertex_pairs(net_graph, 1, rng=5)[0]
+
+
+@pytest.fixture(scope="module")
+def shared_cache(net_graph):
+    return AlphaCache(net_graph)
+
+
+@pytest.fixture(scope="module")
+def shared_filters(net_graph):
+    return FilterVectors(net_graph, NUM_WALKS, rng=5)
+
+
+@pytest.mark.paper_artifact("fig9-baseline")
+def test_bench_baseline_single_query(benchmark, net_graph, query_pair, shared_cache):
+    u, v = query_pair
+    result = benchmark(
+        baseline_simrank, net_graph, u, v, iterations=ITERATIONS, alpha_cache=shared_cache
+    )
+    assert 0.0 <= result.score <= 1.0
+
+
+@pytest.mark.paper_artifact("fig9-sampling")
+def test_bench_sampling_single_query(benchmark, net_graph, query_pair):
+    u, v = query_pair
+    result = benchmark(
+        sampling_simrank, net_graph, u, v, iterations=ITERATIONS, num_walks=NUM_WALKS, rng=7
+    )
+    assert 0.0 <= result.score <= 1.0
+
+
+@pytest.mark.paper_artifact("fig9-sr-ts")
+def test_bench_two_phase_single_query(benchmark, net_graph, query_pair, shared_cache):
+    u, v = query_pair
+    result = benchmark(
+        two_phase_simrank,
+        net_graph,
+        u,
+        v,
+        iterations=ITERATIONS,
+        exact_prefix=1,
+        num_walks=NUM_WALKS,
+        rng=7,
+        alpha_cache=shared_cache,
+    )
+    assert 0.0 <= result.score <= 1.0
+
+
+@pytest.mark.paper_artifact("fig9-sr-sp")
+def test_bench_speedup_single_query(benchmark, net_graph, query_pair, shared_cache, shared_filters):
+    u, v = query_pair
+    result = benchmark(
+        two_phase_simrank,
+        net_graph,
+        u,
+        v,
+        iterations=ITERATIONS,
+        exact_prefix=1,
+        num_walks=NUM_WALKS,
+        rng=7,
+        use_speedup=True,
+        filters=shared_filters,
+        alpha_cache=shared_cache,
+    )
+    assert 0.0 <= result.score <= 1.0
+
+
+@pytest.mark.paper_artifact("fig9-offline-filters")
+def test_bench_filter_vector_construction(benchmark, net_graph):
+    """The offline step of SR-SP: building the per-arc filter vectors."""
+    filters = benchmark(FilterVectors, net_graph, NUM_WALKS, 11)
+    assert len(filters) > 0

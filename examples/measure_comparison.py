@@ -1,0 +1,30 @@
+"""Comparing similarity measures on uncertain graphs (Table III / Fig. 7).
+
+Computes, for vertex pairs of the Net-like and PPI1-like analogue datasets,
+the paper's uncertain-graph SimRank (SimRank-I) alongside deterministic
+SimRank, Du et al.'s SimRank and the expected / deterministic Jaccard
+similarities, and prints the average / maximum / minimum bias of each measure
+against SimRank-I.
+
+Run with::
+
+    python examples/measure_comparison.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.measures import format_measures_results, run_measures_experiment
+
+
+def main() -> None:
+    results = run_measures_experiment(datasets=("net", "ppi1"), num_pairs=40)
+    print(format_measures_results(results))
+
+    print("\nInterpretation:")
+    print(" - SimRank-II ignores uncertainty, so its bias against SimRank-I is large;")
+    print(" - SimRank-III assumes W(k) = W(1)^k, which deviates on graphs with short cycles;")
+    print(" - Jaccard-I/II only see common neighbours, hence the largest biases.")
+
+
+if __name__ == "__main__":
+    main()

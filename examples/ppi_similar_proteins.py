@@ -1,0 +1,29 @@
+"""Case study 1: detecting proteins with similar biological functions.
+
+Generates a synthetic protein-protein interaction network with planted
+complexes (the stand-in for the MIPS ground truth), ranks protein pairs with
+the uncertain-graph SimRank measure (USIM) and with deterministic SimRank on
+the same network with uncertainty removed (DSIM), and reports how many of the
+top pairs fall inside a common complex — the Fig. 13 comparison of the paper.
+
+Run with::
+
+    python examples/ppi_similar_proteins.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.case_ppi import format_ppi_case_study, run_ppi_case_study
+
+
+def main() -> None:
+    result = run_ppi_case_study(k=20, query_k=5, num_walks=300, seed=53)
+    print(format_ppi_case_study(result))
+    print(
+        f"\nAgreement with planted complexes: "
+        f"USIM {result.usim_agreement:.0%} vs DSIM {result.dsim_agreement:.0%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

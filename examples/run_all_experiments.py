@@ -1,0 +1,27 @@
+"""Run every experiment of the evaluation harness in sequence.
+
+Equivalent to ``python -m repro.experiments all --quick`` but importable and
+editable: adjust the ``QUICK`` flag or individual experiment parameters to
+trade runtime for fidelity.
+
+Run with::
+
+    python examples/run_all_experiments.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments.__main__ import EXPERIMENTS
+
+QUICK = True
+
+
+def main() -> None:
+    for name, runner in EXPERIMENTS.items():
+        print(f"=== {name} ===")
+        print(runner(QUICK))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,32 @@
+"""repro — a reproduction of "SimRank Computation on Uncertain Graphs" (ICDE 2016).
+
+The package implements the paper's SimRank measure on uncertain graphs under
+the possible-world model, together with every substrate its evaluation needs:
+the uncertain-graph model, the exact/sampling/two-phase/speed-up computation
+algorithms, comparator similarity measures, synthetic dataset generators, and
+the two case studies (similar-protein detection and entity resolution).
+
+Quickstart
+----------
+>>> from repro import SimRankEngine, example_graph
+>>> engine = SimRankEngine(example_graph(), seed=42)
+>>> engine.similarity("v1", "v2", method="baseline").score  # doctest: +ELLIPSIS
+0...
+"""
+
+from repro.core.engine import SimRankEngine, compute_simrank
+from repro.core.simrank import SimRankResult
+from repro.graph.deterministic import DeterministicGraph
+from repro.graph.uncertain_graph import UncertainGraph, example_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SimRankEngine",
+    "compute_simrank",
+    "SimRankResult",
+    "UncertainGraph",
+    "DeterministicGraph",
+    "example_graph",
+    "__version__",
+]

@@ -1,0 +1,37 @@
+"""Comparator similarity measures used in the paper's evaluation.
+
+* :mod:`repro.baselines.simrank_deterministic` — SimRank on the deterministic
+  graph obtained by stripping uncertainty ("SimRank-II" / "DSIM").
+* :mod:`repro.baselines.simrank_du` — the Du et al. (2015) probabilistic
+  SimRank based on the ``W(k) = (W(1))^k`` assumption ("SimRank-III").
+* :mod:`repro.baselines.structural_context` — expected Jaccard / Dice / cosine
+  similarities on uncertain graphs ("Jaccard-I" etc.) and their deterministic
+  counterparts ("Jaccard-II" etc.).
+"""
+
+from repro.baselines.simrank_deterministic import (
+    deterministic_simrank_matrix,
+    deterministic_simrank_pair,
+)
+from repro.baselines.simrank_du import du_simrank_matrix, du_simrank_pair
+from repro.baselines.structural_context import (
+    deterministic_cosine,
+    deterministic_dice,
+    deterministic_jaccard,
+    expected_cosine,
+    expected_dice,
+    expected_jaccard,
+)
+
+__all__ = [
+    "deterministic_simrank_matrix",
+    "deterministic_simrank_pair",
+    "du_simrank_matrix",
+    "du_simrank_pair",
+    "deterministic_jaccard",
+    "deterministic_dice",
+    "deterministic_cosine",
+    "expected_jaccard",
+    "expected_dice",
+    "expected_cosine",
+]

@@ -1,0 +1,69 @@
+"""Core contribution of the paper: SimRank on uncertain graphs.
+
+The package is organised around the paper's sections:
+
+* :mod:`repro.core.walks` — walk probabilities on uncertain graphs (WalkPr,
+  Section IV-A).
+* :mod:`repro.core.transition` — k-step transition probabilities (TransPr,
+  Section IV-B) plus the possible-world oracle.
+* :mod:`repro.core.simrank` — the SimRank measure on uncertain graphs
+  (Definition 1, Theorems 1–3, Section V).
+* :mod:`repro.core.baseline` — the exact Baseline algorithm (Section VI-A).
+* :mod:`repro.core.sampling` — the Sampling algorithm (Section VI-B).
+* :mod:`repro.core.two_phase` — the two-phase algorithm SR-TS (Section VI-C).
+* :mod:`repro.core.speedup` — the bit-vector speed-up SR-SP (Section VI-D).
+* :mod:`repro.core.engine` — a single entry point selecting among the above.
+* :mod:`repro.core.topk` — top-k similarity queries built on the estimators.
+"""
+
+from repro.core.baseline import baseline_simrank, baseline_simrank_all_pairs
+from repro.core.engine import SimRankEngine, compute_simrank
+from repro.core.sampling import (
+    required_sample_size,
+    sample_walk,
+    sample_walks,
+    sampling_simrank,
+)
+from repro.core.simrank import (
+    SimRankResult,
+    approximation_error_bound,
+    simrank_from_meeting_probabilities,
+    two_phase_error_bound,
+)
+from repro.core.speedup import FilterVectors, speedup_meeting_probabilities, speedup_simrank
+from repro.core.topk import top_k_similar_pairs, top_k_similar_to
+from repro.core.transition import (
+    exact_transition_matrices_by_enumeration,
+    expected_one_step_matrix,
+    single_source_transition_probabilities,
+    transition_probability_matrices,
+)
+from repro.core.two_phase import two_phase_simrank
+from repro.core.walks import WalkStatistics, walk_probability
+
+__all__ = [
+    "baseline_simrank",
+    "baseline_simrank_all_pairs",
+    "SimRankEngine",
+    "compute_simrank",
+    "required_sample_size",
+    "sample_walk",
+    "sample_walks",
+    "sampling_simrank",
+    "SimRankResult",
+    "approximation_error_bound",
+    "simrank_from_meeting_probabilities",
+    "two_phase_error_bound",
+    "FilterVectors",
+    "speedup_meeting_probabilities",
+    "speedup_simrank",
+    "top_k_similar_pairs",
+    "top_k_similar_to",
+    "exact_transition_matrices_by_enumeration",
+    "expected_one_step_matrix",
+    "single_source_transition_probabilities",
+    "transition_probability_matrices",
+    "two_phase_simrank",
+    "WalkStatistics",
+    "walk_probability",
+]

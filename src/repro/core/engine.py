@@ -1,0 +1,221 @@
+"""Unified front end for the SimRank algorithms.
+
+:class:`SimRankEngine` binds an uncertain graph to a decay factor, an
+iteration count and per-method configuration, and exposes every algorithm of
+the paper behind one ``similarity(u, v, method=...)`` call.  It also owns the
+state that is worth sharing across queries: the α cache of the exact
+algorithms and the offline-built filter vectors of SR-SP.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.baseline import baseline_simrank, baseline_simrank_all_pairs
+from repro.core.sampling import DEFAULT_NUM_WALKS, sampling_simrank
+from repro.core.simrank import (
+    DEFAULT_DECAY,
+    DEFAULT_ITERATIONS,
+    SimRankResult,
+    validate_decay,
+    validate_iterations,
+)
+from repro.core.speedup import FilterVectors
+from repro.core.two_phase import DEFAULT_EXACT_PREFIX, two_phase_simrank
+from repro.core.walks import AlphaCache
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.errors import InvalidParameterError
+from repro.utils.rng import RandomState, ensure_rng
+
+Vertex = Hashable
+
+#: The algorithms exposed by the engine, using the paper's names.
+METHODS = ("baseline", "sampling", "two_phase", "speedup")
+
+
+class SimRankEngine:
+    """Compute uncertain-graph SimRank similarities with any of the paper's algorithms.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph to query.
+    decay:
+        Decay factor ``c`` in ``(0, 1)``; default 0.6 as in the paper.
+    iterations:
+        Iteration count ``n``; default 5 (the paper's convergence point).
+    num_walks:
+        Sample size ``N`` for the sampling-based methods; default 1000.
+    exact_prefix:
+        The ``l`` of the two-phase methods; default 1.
+    seed:
+        Seed (or generator) driving all randomness of the engine.
+
+    Examples
+    --------
+    >>> from repro.graph.uncertain_graph import example_graph
+    >>> engine = SimRankEngine(example_graph(), seed=7)
+    >>> result = engine.similarity("v1", "v2", method="two_phase")
+    >>> 0.0 <= result.score <= 1.0
+    True
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        decay: float = DEFAULT_DECAY,
+        iterations: int = DEFAULT_ITERATIONS,
+        num_walks: int = DEFAULT_NUM_WALKS,
+        exact_prefix: int = DEFAULT_EXACT_PREFIX,
+        seed: RandomState = None,
+    ) -> None:
+        self.graph = graph
+        self.decay = validate_decay(decay)
+        self.iterations = validate_iterations(iterations)
+        if num_walks < 1:
+            raise InvalidParameterError(f"num_walks must be >= 1, got {num_walks}")
+        if not 0 <= exact_prefix <= iterations:
+            raise InvalidParameterError(
+                f"exact_prefix must satisfy 0 <= l <= n, got {exact_prefix}"
+            )
+        self.num_walks = num_walks
+        self.exact_prefix = exact_prefix
+        self._rng = ensure_rng(seed)
+        self._alpha_cache = AlphaCache(graph)
+        self._filters: FilterVectors | None = None
+        self._filters_v: FilterVectors | None = None
+
+    # -- shared state --------------------------------------------------------
+
+    @property
+    def filters(self) -> FilterVectors:
+        """Offline-built filter vectors for the u-side SR-SP bundle."""
+        if self._filters is None or self._filters.num_processes != self.num_walks:
+            self._filters = FilterVectors(self.graph, self.num_walks, self._rng)
+        return self._filters
+
+    @property
+    def filters_v(self) -> FilterVectors:
+        """Offline-built filter vectors for the v-side SR-SP bundle.
+
+        Kept independent of :attr:`filters` so the two endpoint walk bundles
+        stay statistically independent (DESIGN.md §5.1).
+        """
+        if self._filters_v is None or self._filters_v.num_processes != self.num_walks:
+            self._filters_v = FilterVectors(self.graph, self.num_walks, self._rng)
+        return self._filters_v
+
+    def rebuild_filters(self) -> FilterVectors:
+        """Redraw both SR-SP filter sets (a fresh offline sampling pass)."""
+        self._filters = FilterVectors(self.graph, self.num_walks, self._rng)
+        self._filters_v = FilterVectors(self.graph, self.num_walks, self._rng)
+        return self._filters
+
+    # -- queries --------------------------------------------------------------
+
+    def similarity(
+        self,
+        u: Vertex,
+        v: Vertex,
+        method: str = "two_phase",
+        **overrides: object,
+    ) -> SimRankResult:
+        """SimRank similarity of one vertex pair with the chosen algorithm.
+
+        ``method`` is one of ``"baseline"``, ``"sampling"``, ``"two_phase"``
+        (SR-TS) and ``"speedup"`` (SR-SP).  Keyword overrides are forwarded to
+        the underlying algorithm (e.g. ``num_walks=...``, ``exact_prefix=...``).
+        """
+        if method not in METHODS:
+            raise InvalidParameterError(
+                f"unknown method {method!r}; expected one of {METHODS}"
+            )
+        if method == "baseline":
+            return baseline_simrank(
+                self.graph,
+                u,
+                v,
+                decay=self.decay,
+                iterations=self.iterations,
+                alpha_cache=self._alpha_cache,
+                **overrides,
+            )
+        if method == "sampling":
+            overrides.setdefault("num_walks", self.num_walks)
+            return sampling_simrank(
+                self.graph,
+                u,
+                v,
+                decay=self.decay,
+                iterations=self.iterations,
+                rng=self._rng,
+                **overrides,
+            )
+        use_speedup = method == "speedup"
+        overrides.setdefault("num_walks", self.num_walks)
+        overrides.setdefault("exact_prefix", self.exact_prefix)
+        if use_speedup:
+            overrides.setdefault("filters", self.filters)
+            overrides.setdefault("filters_v", self.filters_v)
+        return two_phase_simrank(
+            self.graph,
+            u,
+            v,
+            decay=self.decay,
+            iterations=self.iterations,
+            rng=self._rng,
+            use_speedup=use_speedup,
+            alpha_cache=self._alpha_cache,
+            **overrides,
+        )
+
+    def similarity_many(
+        self,
+        pairs: Iterable[Tuple[Vertex, Vertex]],
+        method: str = "two_phase",
+        **overrides: object,
+    ) -> List[SimRankResult]:
+        """SimRank similarities for many pairs (sharing caches and filters)."""
+        return [self.similarity(u, v, method=method, **overrides) for u, v in pairs]
+
+    def similarity_matrix(
+        self, order: Sequence[Vertex] | None = None, **overrides: object
+    ) -> np.ndarray:
+        """Exact all-pairs SimRank matrix (Baseline); small graphs only."""
+        return baseline_simrank_all_pairs(
+            self.graph,
+            decay=self.decay,
+            iterations=self.iterations,
+            order=order,
+            **overrides,
+        )
+
+
+def compute_simrank(
+    graph: UncertainGraph,
+    u: Vertex,
+    v: Vertex,
+    method: str = "two_phase",
+    decay: float = DEFAULT_DECAY,
+    iterations: int = DEFAULT_ITERATIONS,
+    num_walks: int = DEFAULT_NUM_WALKS,
+    exact_prefix: int = DEFAULT_EXACT_PREFIX,
+    seed: RandomState = None,
+    **overrides: object,
+) -> SimRankResult:
+    """One-shot convenience wrapper around :class:`SimRankEngine`.
+
+    Useful for scripts and examples; applications issuing many queries should
+    create a single engine so that caches and filter vectors are reused.
+    """
+    engine = SimRankEngine(
+        graph,
+        decay=decay,
+        iterations=iterations,
+        num_walks=num_walks,
+        exact_prefix=exact_prefix,
+        seed=seed,
+    )
+    return engine.similarity(u, v, method=method, **overrides)

@@ -1,0 +1,257 @@
+"""The SR-SP speed-up technique (Section VI-D): shared sampling via bit vectors.
+
+Instead of extending ``N`` sampled walks one by one, the speed-up technique
+runs all ``N`` sampling processes simultaneously:
+
+* every arc ``e = (w, x)`` carries a *filter vector* ``F_e`` of ``N`` bits —
+  bit ``i`` is set when, in sampling process ``i``, the walk standing at ``w``
+  would move to ``x`` (the out-arcs of ``w`` are instantiated once per
+  process, and one instantiated arc is chosen uniformly);
+* every vertex ``w`` carries a *counting table* ``M_w`` — ``M_w[k]`` is an
+  ``N``-bit vector whose bit ``i`` is set when ``w`` is the ``k``-th vertex of
+  the ``i``-th sampled walk.
+
+One breadth-first propagation per endpoint then replaces ``N`` independent
+walk extensions: ``M_x[k+1] |= M_w[k] & F_(w,x)``.  The meeting-probability
+estimate (Eq. 16) is the popcount of ``M_w[k] & M'_w[k]`` summed over the
+vertices reachable at step ``k`` from both endpoints.
+
+Fidelity note (see DESIGN.md §5): the paper builds one set of filter vectors
+and reuses it for both endpoints, which correlates the two walk bundles.  By
+default this implementation draws an independent filter set per endpoint so
+the estimator matches the Sampling algorithm's independence assumption;
+``shared_filters=True`` restores the paper's exact behaviour.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+import numpy as np
+
+from repro.core.simrank import (
+    DEFAULT_DECAY,
+    DEFAULT_ITERATIONS,
+    SimRankResult,
+    simrank_from_meeting_probabilities,
+    validate_decay,
+    validate_iterations,
+)
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.bitvector import BitVector
+from repro.utils.errors import InvalidParameterError
+from repro.utils.rng import RandomState, ensure_rng
+
+Vertex = Hashable
+Arc = Tuple[Vertex, Vertex]
+
+#: Default number of simultaneous sampling processes (the paper's ``N``).
+DEFAULT_NUM_PROCESSES = 1000
+
+
+class FilterVectors:
+    """Per-arc filter vectors for ``num_processes`` simultaneous samples.
+
+    Construction is the "offline" step of the paper: for every vertex and
+    every sampling process, the out-arcs are instantiated independently with
+    their existence probabilities and one instantiated arc is chosen uniformly
+    at random.  Bit ``i`` of the filter vector of arc ``(w, x)`` records that
+    process ``i`` chose to move from ``w`` to ``x``.
+    """
+
+    def __init__(self, graph: UncertainGraph, num_processes: int, rng: RandomState = None):
+        if num_processes < 1:
+            raise InvalidParameterError(
+                f"num_processes must be >= 1, got {num_processes}"
+            )
+        self._graph = graph
+        self._num_processes = num_processes
+        self._filters: Dict[Arc, BitVector] = {}
+        self._build(ensure_rng(rng))
+
+    def _build(self, rng: np.random.Generator) -> None:
+        n = self._num_processes
+        for vertex in self._graph.vertices():
+            out_arcs = self._graph.out_arcs(vertex)
+            if not out_arcs:
+                continue
+            neighbors = list(out_arcs)
+            probabilities = np.array([out_arcs[w] for w in neighbors], dtype=float)
+            # Instantiate every out-arc for every process in one vectorised draw.
+            exists = rng.random((n, len(neighbors))) < probabilities
+            any_exists = exists.any(axis=1)
+            # Choose uniformly among the instantiated arcs of each process by
+            # ranking random keys restricted to the instantiated positions.
+            keys = np.where(exists, rng.random((n, len(neighbors))), -1.0)
+            choice = keys.argmax(axis=1)
+            for position, neighbor in enumerate(neighbors):
+                flags = any_exists & (choice == position)
+                if flags.any():
+                    self._filters[(vertex, neighbor)] = BitVector.from_bool_array(flags)
+
+    @property
+    def num_processes(self) -> int:
+        """Number of simultaneous sampling processes encoded in each vector."""
+        return self._num_processes
+
+    @property
+    def graph(self) -> UncertainGraph:
+        """The graph the filter vectors were built for."""
+        return self._graph
+
+    def get(self, u: Vertex, v: Vertex) -> BitVector:
+        """Filter vector of arc ``(u, v)`` (all-zero if no process chose it)."""
+        return self._filters.get((u, v), BitVector.zeros(self._num_processes))
+
+    def __len__(self) -> int:
+        return len(self._filters)
+
+
+CountingTables = List[Dict[Vertex, BitVector]]
+
+
+def propagate_counting_tables(
+    graph: UncertainGraph,
+    source: Vertex,
+    steps: int,
+    filters: FilterVectors,
+) -> CountingTables:
+    """Propagate the counting tables of ``source`` for ``steps`` steps.
+
+    Returns ``tables`` with ``tables[k][w]`` the bit vector recording in which
+    sampling processes ``w`` is the ``k``-th vertex of the walk from
+    ``source`` (vertices with an all-zero vector omitted).  ``tables[0]`` maps
+    ``source`` to the all-ones vector.
+    """
+    if not graph.has_vertex(source):
+        raise InvalidParameterError(f"source vertex {source!r} is not in the graph")
+    if steps < 0:
+        raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+    n = filters.num_processes
+    tables: CountingTables = [{source: BitVector.ones(n)}]
+    for _ in range(steps):
+        current = tables[-1]
+        next_table: Dict[Vertex, BitVector] = {}
+        for vertex, mask in current.items():
+            for neighbor in graph.out_neighbors(vertex):
+                arc_filter = filters.get(vertex, neighbor)
+                if arc_filter.is_zero():
+                    continue
+                moved = mask & arc_filter
+                if moved.is_zero():
+                    continue
+                if neighbor in next_table:
+                    next_table[neighbor] = next_table[neighbor] | moved
+                else:
+                    next_table[neighbor] = moved
+        tables.append(next_table)
+    return tables
+
+
+def meeting_probabilities_from_tables(
+    tables_u: CountingTables,
+    tables_v: CountingTables,
+    num_processes: int,
+    u: Vertex,
+    v: Vertex,
+) -> List[float]:
+    """Eq. 16: estimate ``m(k)`` from two endpoints' counting tables."""
+    if len(tables_u) != len(tables_v):
+        raise InvalidParameterError("counting tables must cover the same number of steps")
+    meeting = [1.0 if u == v else 0.0]
+    for k in range(1, len(tables_u)):
+        table_u, table_v = tables_u[k], tables_v[k]
+        smaller, larger = (table_u, table_v) if len(table_u) <= len(table_v) else (table_v, table_u)
+        hits = 0
+        for vertex, mask in smaller.items():
+            other = larger.get(vertex)
+            if other is not None:
+                hits += (mask & other).count()
+        meeting.append(hits / num_processes)
+    return meeting
+
+
+def speedup_meeting_probabilities(
+    graph: UncertainGraph,
+    u: Vertex,
+    v: Vertex,
+    iterations: int,
+    num_processes: int = DEFAULT_NUM_PROCESSES,
+    rng: RandomState = None,
+    shared_filters: bool = False,
+    filters: FilterVectors | None = None,
+    filters_v: FilterVectors | None = None,
+) -> List[float]:
+    """Estimate ``m(0) … m(n)`` with the bit-vector propagation of SR-SP.
+
+    ``filters`` (and optionally ``filters_v``) may be passed to reuse
+    offline-constructed filter sets — the paper builds them once per graph and
+    reuses them for every query.  ``filters`` drives the ``u``-side bundle;
+    the ``v``-side bundle uses, in order of precedence, the same set when
+    ``shared_filters=True``, the explicit ``filters_v``, or a freshly drawn
+    set.
+    """
+    iterations = validate_iterations(iterations)
+    generator = ensure_rng(rng)
+    filters_u = filters if filters is not None else FilterVectors(graph, num_processes, generator)
+    if filters_u.num_processes != num_processes:
+        num_processes = filters_u.num_processes
+    if shared_filters:
+        filters_v = filters_u
+    elif filters_v is None:
+        filters_v = FilterVectors(graph, num_processes, generator)
+    elif filters_v.num_processes != num_processes:
+        raise InvalidParameterError(
+            "filters and filters_v must encode the same number of sampling processes"
+        )
+    tables_u = propagate_counting_tables(graph, u, iterations, filters_u)
+    tables_v = propagate_counting_tables(graph, v, iterations, filters_v)
+    return meeting_probabilities_from_tables(tables_u, tables_v, num_processes, u, v)
+
+
+def speedup_simrank(
+    graph: UncertainGraph,
+    u: Vertex,
+    v: Vertex,
+    decay: float = DEFAULT_DECAY,
+    iterations: int = DEFAULT_ITERATIONS,
+    num_processes: int = DEFAULT_NUM_PROCESSES,
+    rng: RandomState = None,
+    shared_filters: bool = False,
+    filters: FilterVectors | None = None,
+    filters_v: FilterVectors | None = None,
+) -> SimRankResult:
+    """SimRank estimate using the SR-SP bit-vector sampling for every step.
+
+    This is the Speedup algorithm of Fig. 5 applied to the plain sampling
+    estimator; the two-phase variant (exact prefix + sped-up tail) lives in
+    :func:`repro.core.two_phase.two_phase_simrank` with ``use_speedup=True``.
+    """
+    decay = validate_decay(decay)
+    iterations = validate_iterations(iterations)
+    if not graph.has_vertex(u) or not graph.has_vertex(v):
+        raise InvalidParameterError(f"both query vertices must be in the graph: {u!r}, {v!r}")
+    if filters is not None:
+        num_processes = filters.num_processes
+    meeting = speedup_meeting_probabilities(
+        graph,
+        u,
+        v,
+        iterations,
+        num_processes=num_processes,
+        rng=rng,
+        shared_filters=shared_filters,
+        filters=filters,
+        filters_v=filters_v,
+    )
+    score = simrank_from_meeting_probabilities(meeting, decay)
+    return SimRankResult(
+        u=u,
+        v=v,
+        score=score,
+        meeting_probabilities=tuple(meeting),
+        decay=decay,
+        iterations=iterations,
+        method="speedup",
+        details={"num_processes": num_processes, "shared_filters": shared_filters},
+    )

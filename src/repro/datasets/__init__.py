@@ -1,0 +1,15 @@
+"""Named analogue datasets mirroring Table II of the paper (at laptop scale)."""
+
+from repro.datasets.registry import (
+    DatasetSpec,
+    available_datasets,
+    dataset_summary_table,
+    load_dataset,
+)
+
+__all__ = [
+    "DatasetSpec",
+    "available_datasets",
+    "dataset_summary_table",
+    "load_dataset",
+]

@@ -1,0 +1,28 @@
+"""Entity-resolution case study (Section VII-C, Fig. 15, Tables IV–V)."""
+
+from repro.er.records import AmbiguousNameSpec, Record, RecordDataset, generate_record_dataset
+from repro.er.graph_builder import build_entity_graph
+from repro.er.clustering import cluster_by_threshold, connected_component_clusters
+from repro.er.algorithms import (
+    distinct_algorithm,
+    eif_algorithm,
+    sim_der_algorithm,
+    sim_er_algorithm,
+)
+from repro.er.metrics import ResolutionQuality, pairwise_quality
+
+__all__ = [
+    "AmbiguousNameSpec",
+    "Record",
+    "RecordDataset",
+    "generate_record_dataset",
+    "build_entity_graph",
+    "cluster_by_threshold",
+    "connected_component_clusters",
+    "sim_er_algorithm",
+    "sim_der_algorithm",
+    "eif_algorithm",
+    "distinct_algorithm",
+    "ResolutionQuality",
+    "pairwise_quality",
+]

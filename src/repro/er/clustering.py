@@ -1,0 +1,79 @@
+"""Clustering records into entities.
+
+All four comparators of the ER case study share the same framework (as the
+paper notes, they "follow the same framework but only differ on the
+similarity measures"): compute a pairwise similarity between records, keep
+the pairs whose similarity exceeds an aggregation threshold, and take the
+connected components of the resulting graph as the resolved entities.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.utils.errors import InvalidParameterError
+
+Item = Hashable
+PairScore = Mapping[Tuple[Item, Item], float]
+
+
+class _UnionFind:
+    """Disjoint-set forest used to build connected components."""
+
+    def __init__(self, items: Iterable[Item]):
+        self._parent: Dict[Item, Item] = {item: item for item in items}
+
+    def find(self, item: Item) -> Item:
+        root = item
+        while self._parent[root] != root:
+            root = self._parent[root]
+        # Path compression.
+        while self._parent[item] != root:
+            self._parent[item], item = root, self._parent[item]
+        return root
+
+    def union(self, a: Item, b: Item) -> None:
+        root_a, root_b = self.find(a), self.find(b)
+        if root_a != root_b:
+            self._parent[root_b] = root_a
+
+    def components(self) -> List[List[Item]]:
+        groups: Dict[Item, List[Item]] = {}
+        for item in self._parent:
+            groups.setdefault(self.find(item), []).append(item)
+        return list(groups.values())
+
+
+def connected_component_clusters(
+    items: Sequence[Item], linked_pairs: Iterable[Tuple[Item, Item]]
+) -> List[List[Item]]:
+    """Connected components of the "same entity" graph over ``items``."""
+    union_find = _UnionFind(items)
+    for a, b in linked_pairs:
+        if a not in union_find._parent or b not in union_find._parent:
+            raise InvalidParameterError(f"pair ({a!r}, {b!r}) references unknown items")
+        union_find.union(a, b)
+    return union_find.components()
+
+
+def cluster_by_threshold(
+    items: Sequence[Item],
+    similarity: Callable[[Item, Item], float],
+    threshold: float,
+    candidate_pairs: Iterable[Tuple[Item, Item]] | None = None,
+) -> List[List[Item]]:
+    """Aggregate items whose pairwise similarity reaches ``threshold``.
+
+    ``candidate_pairs`` restricts which pairs are evaluated (by default all
+    unordered pairs).  Items not linked to anything form singleton entities.
+    """
+    if threshold < 0:
+        raise InvalidParameterError(f"threshold must be non-negative, got {threshold}")
+    if candidate_pairs is None:
+        candidate_pairs = [
+            (items[i], items[j]) for i in range(len(items)) for j in range(i + 1, len(items))
+        ]
+    linked = [
+        (a, b) for a, b in candidate_pairs if similarity(a, b) >= threshold
+    ]
+    return connected_component_clusters(items, linked)

@@ -1,0 +1,74 @@
+"""Building the uncertain entity graph from bibliographic records.
+
+Graph-based entity resolution organises the records of one ambiguous name as
+a graph: vertices are records, and an edge between two records carries the
+similarity of their contexts (shared co-authors, venues, title words),
+normalised to ``[0, 1]``.  The paper's observation is that such a graph *is*
+an uncertain graph — the normalised similarity is naturally read as the
+probability that the two records refer to the same entity — and that ER
+algorithms should therefore reason over it probabilistically rather than
+thresholding the weights away.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, Sequence
+
+from repro.er.records import Record
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.errors import InvalidParameterError
+
+
+def record_context_similarity(record_a: Record, record_b: Record) -> float:
+    """Jaccard similarity of the contextual feature sets of two records.
+
+    Shared co-authors are the strongest signal of a common underlying author,
+    so they are counted twice relative to venue and title-word overlap.
+    """
+    features_a = record_a.feature_set()
+    features_b = record_b.feature_set()
+    if not features_a or not features_b:
+        return 0.0
+    union = len(features_a | features_b)
+    intersection = len(features_a & features_b)
+    shared_coauthors = len(set(record_a.coauthors) & set(record_b.coauthors))
+    score = (intersection + shared_coauthors) / (union + shared_coauthors)
+    return min(1.0, score)
+
+
+def build_entity_graph(
+    records: Sequence[Record],
+    min_probability: float = 0.05,
+    similarity=record_context_similarity,
+) -> UncertainGraph:
+    """Build the uncertain entity graph of a set of records.
+
+    Every record becomes a vertex (labelled by its record id).  For every
+    record pair with context similarity above ``min_probability`` a symmetric
+    pair of arcs is added with that similarity as the existence probability.
+    ``min_probability`` only prunes negligible edges; it is *not* the
+    aggressive EIF-style threshold (that thresholding happens inside the EIF
+    comparator, not here).
+    """
+    if not 0.0 <= min_probability < 1.0:
+        raise InvalidParameterError(
+            f"min_probability must be in [0, 1), got {min_probability}"
+        )
+    graph = UncertainGraph(vertices=[record.record_id for record in records])
+    for record_a, record_b in combinations(records, 2):
+        probability = similarity(record_a, record_b)
+        if probability > min_probability:
+            graph.add_undirected_edge(record_a.record_id, record_b.record_id, probability)
+    return graph
+
+
+def strip_low_probability_edges(graph: UncertainGraph, threshold: float) -> UncertainGraph:
+    """Drop arcs with probability below ``threshold`` (the EIF pre-processing step)."""
+    if not 0.0 <= threshold <= 1.0:
+        raise InvalidParameterError(f"threshold must be in [0, 1], got {threshold}")
+    result = UncertainGraph(vertices=graph.vertices())
+    for u, v, probability in graph.arcs():
+        if probability >= threshold:
+            result.add_arc(u, v, probability)
+    return result

@@ -1,0 +1,82 @@
+"""Pairwise precision / recall / F1 for entity resolution (Table V metrics)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, Hashable, List, Mapping, Sequence, Set, Tuple
+
+from repro.utils.errors import InvalidParameterError
+
+Item = Hashable
+
+
+@dataclass(frozen=True)
+class ResolutionQuality:
+    """Precision, recall and F1 of one entity-resolution run."""
+
+    precision: float
+    recall: float
+
+    @property
+    def f1(self) -> float:
+        """Harmonic mean of precision and recall (0 when both are 0)."""
+        if self.precision + self.recall == 0:
+            return 0.0
+        return 2 * self.precision * self.recall / (self.precision + self.recall)
+
+    def as_row(self) -> Tuple[float, float, float]:
+        """``(precision, recall, f1)`` for table printing."""
+        return (self.precision, self.recall, self.f1)
+
+
+def _cluster_pairs(clusters: Sequence[Sequence[Item]]) -> Set[Tuple[Item, Item]]:
+    pairs: Set[Tuple[Item, Item]] = set()
+    for cluster in clusters:
+        ordered = sorted(cluster, key=repr)
+        for a, b in combinations(ordered, 2):
+            pairs.add((a, b))
+    return pairs
+
+
+def _truth_pairs(ground_truth: Mapping[Item, Hashable]) -> Set[Tuple[Item, Item]]:
+    by_entity: Dict[Hashable, List[Item]] = {}
+    for item, entity in ground_truth.items():
+        by_entity.setdefault(entity, []).append(item)
+    return _cluster_pairs(list(by_entity.values()))
+
+
+def pairwise_quality(
+    clusters: Sequence[Sequence[Item]], ground_truth: Mapping[Item, Hashable]
+) -> ResolutionQuality:
+    """Pairwise precision / recall of predicted clusters against the ground truth.
+
+    A *pair* is a pair of records placed in the same cluster; precision is the
+    fraction of predicted pairs that are truly co-referent, recall the
+    fraction of truly co-referent pairs that were predicted.  When the ground
+    truth has no co-referent pair at all (every entity has a single record),
+    recall is defined as 1; when no pair is predicted, precision is defined
+    as 1 — both conventions keep the statistics meaningful for tiny names.
+    """
+    clustered_items = {item for cluster in clusters for item in cluster}
+    missing = set(ground_truth) - clustered_items
+    if missing:
+        raise InvalidParameterError(
+            f"clusters do not cover all ground-truth records, missing e.g. {sorted(map(repr, missing))[:3]}"
+        )
+    predicted = _cluster_pairs(clusters)
+    truth = _truth_pairs(ground_truth)
+    # Only pairs of records that belong to the evaluated ground truth count.
+    evaluated_items = set(ground_truth)
+    predicted = {
+        pair for pair in predicted if pair[0] in evaluated_items and pair[1] in evaluated_items
+    }
+    if predicted:
+        precision = len(predicted & truth) / len(predicted)
+    else:
+        precision = 1.0
+    if truth:
+        recall = len(predicted & truth) / len(truth)
+    else:
+        recall = 1.0
+    return ResolutionQuality(precision=precision, recall=recall)

@@ -1,0 +1,28 @@
+"""Experiment harness: one module per table / figure of the paper's evaluation.
+
+Every experiment exposes a ``run_*`` function returning a plain result object
+and a ``format_*`` function rendering the same rows/series the paper reports.
+The modules are deliberately thin — all heavy lifting happens in the library —
+so that the mapping from paper artefact to code is easy to audit:
+
+==============================  =======================================
+Paper artefact                  Module
+==============================  =======================================
+Table II (datasets)             :mod:`repro.experiments.report`
+Table III / Fig. 7 (measures)   :mod:`repro.experiments.measures`
+Fig. 8 (convergence)            :mod:`repro.experiments.convergence`
+Fig. 9 (efficiency)             :mod:`repro.experiments.efficiency`
+Fig. 10 (accuracy)              :mod:`repro.experiments.accuracy`
+Fig. 11 (effect of N)           :mod:`repro.experiments.param_n`
+Fig. 12 (scalability)           :mod:`repro.experiments.scalability`
+Fig. 13 / Fig. 14 (proteins)    :mod:`repro.experiments.case_ppi`
+Fig. 15 / Table V (ER)          :mod:`repro.experiments.case_er`
+==============================  =======================================
+
+``python -m repro.experiments <name>`` runs one experiment from the command
+line with laptop-friendly default scales.
+"""
+
+from repro.experiments.report import format_table
+
+__all__ = ["format_table"]

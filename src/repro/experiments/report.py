@@ -1,0 +1,46 @@
+"""Plain-text table rendering and the Table II dataset summary."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.datasets.registry import dataset_summary_table
+
+
+def _render_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], precision: int = 4
+) -> str:
+    """Render an aligned plain-text table (monospace, experiment output style)."""
+    rendered_rows: List[List[str]] = [
+        [_render_cell(value, precision) for value in row] for row in rows
+    ]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for column, cell in enumerate(row):
+            widths[column] = max(widths[column], len(cell))
+    lines = []
+    header_line = "  ".join(str(header).ljust(widths[i]) for i, header in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * width for width in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_dataset_summary() -> str:
+    """Table II analogue: the bundled datasets and their paper counterparts."""
+    headers = (
+        "dataset",
+        "paper name",
+        "paper |V|",
+        "paper |E|",
+        "analogue |V|",
+        "analogue |E|",
+    )
+    return format_table(headers, dataset_summary_table())

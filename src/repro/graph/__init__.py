@@ -1,0 +1,34 @@
+"""Uncertain-graph substrate: graph model, possible worlds, generators, I/O."""
+
+from repro.graph.deterministic import DeterministicGraph
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.graph.possible_worlds import (
+    enumerate_possible_worlds,
+    sample_possible_world,
+    world_probability,
+)
+from repro.graph.cycles import shortest_cycle_length
+from repro.graph.generators import (
+    erdos_renyi_uncertain,
+    planted_partition_ppi,
+    rmat_uncertain,
+    co_authorship_graph,
+    assign_uniform_probabilities,
+)
+from repro.graph.io import read_edge_list, write_edge_list
+
+__all__ = [
+    "DeterministicGraph",
+    "UncertainGraph",
+    "enumerate_possible_worlds",
+    "sample_possible_world",
+    "world_probability",
+    "shortest_cycle_length",
+    "erdos_renyi_uncertain",
+    "planted_partition_ppi",
+    "rmat_uncertain",
+    "co_authorship_graph",
+    "assign_uniform_probabilities",
+    "read_edge_list",
+    "write_edge_list",
+]

@@ -1,0 +1,64 @@
+"""Shortest directed cycle (girth) of an uncertain graph.
+
+The TransPr algorithm (Fig. 3 of the paper) uses the length of the shortest
+cycle to decide when the cheap Lemma-3 update applies: as long as a walk is
+shorter than the girth it cannot revisit a vertex, so its extension factor is
+just the expected one-step transition probability.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Hashable, Optional
+
+from repro.graph.deterministic import DeterministicGraph
+from repro.graph.uncertain_graph import UncertainGraph
+
+Vertex = Hashable
+
+
+def _out_neighbor_map(graph: UncertainGraph | DeterministicGraph) -> Dict[Vertex, list]:
+    if isinstance(graph, UncertainGraph):
+        return {v: graph.out_neighbors(v) for v in graph.vertices()}
+    return {v: list(graph.out_neighbors(v)) for v in graph.vertices()}
+
+
+def shortest_cycle_length(
+    graph: UncertainGraph | DeterministicGraph,
+) -> Optional[int]:
+    """Length of the shortest directed cycle, or ``None`` if the graph is acyclic.
+
+    A self-loop counts as a cycle of length 1.  The algorithm runs one BFS per
+    vertex over the arc structure (probabilities are irrelevant: a cycle is a
+    *potential* revisit), giving ``O(|V| (|V| + |E|))`` time — entirely
+    adequate for the graph sizes this library targets and simpler than the
+    cycle-basis method the paper cites.
+    """
+    neighbors = _out_neighbor_map(graph)
+    best: Optional[int] = None
+    for source in neighbors:
+        # BFS from `source`; the first time we come back to `source` the path
+        # length is the shortest cycle through `source`.
+        distances: Dict[Vertex, int] = {source: 0}
+        queue: deque[Vertex] = deque([source])
+        while queue:
+            current = queue.popleft()
+            next_distance = distances[current] + 1
+            if best is not None and next_distance >= best:
+                continue
+            for neighbor in neighbors[current]:
+                if neighbor == source:
+                    if best is None or next_distance < best:
+                        best = next_distance
+                    continue
+                if neighbor not in distances:
+                    distances[neighbor] = next_distance
+                    queue.append(neighbor)
+        if best == 1:
+            return 1
+    return best
+
+
+def has_cycle(graph: UncertainGraph | DeterministicGraph) -> bool:
+    """Whether the graph contains any directed cycle."""
+    return shortest_cycle_length(graph) is not None

@@ -1,0 +1,82 @@
+"""Reading and writing uncertain graphs as weighted edge lists.
+
+The format is one arc per line, ``<source> <target> <probability>``, with
+``#`` comments and blank lines ignored — the same shape as the STRING / Biomine
+exports the paper's datasets come from.  Vertex labels are kept as strings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Union
+
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.errors import GraphFormatError
+
+PathLike = Union[str, Path]
+
+
+def write_edge_list(graph: UncertainGraph, path: PathLike, header: str | None = None) -> None:
+    """Write ``graph`` to ``path`` in the weighted edge-list format.
+
+    Isolated vertices are recorded in a ``# vertex:`` comment block so that a
+    round-trip through :func:`read_edge_list` preserves the vertex set.
+    """
+    path = Path(path)
+    lines: list[str] = []
+    if header:
+        for header_line in header.splitlines():
+            lines.append(f"# {header_line}")
+    arc_endpoints = set()
+    for u, v, probability in graph.arcs():
+        arc_endpoints.add(u)
+        arc_endpoints.add(v)
+        lines.append(f"{u} {v} {probability:.10g}")
+    for vertex in graph.vertices():
+        if vertex not in arc_endpoints:
+            lines.append(f"# vertex: {vertex}")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def read_edge_list(path: PathLike) -> UncertainGraph:
+    """Parse an uncertain graph from the weighted edge-list format."""
+    path = Path(path)
+    graph = UncertainGraph()
+    for line_number, raw_line in enumerate(path.read_text(encoding="utf-8").splitlines(), 1):
+        line = raw_line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            comment = line[1:].strip()
+            if comment.startswith("vertex:"):
+                graph.add_vertex(comment[len("vertex:") :].strip())
+            continue
+        parts = line.split()
+        if len(parts) != 3:
+            raise GraphFormatError(
+                f"{path}:{line_number}: expected 'source target probability', got {raw_line!r}"
+            )
+        source, target, probability_text = parts
+        try:
+            probability = float(probability_text)
+        except ValueError as exc:
+            raise GraphFormatError(
+                f"{path}:{line_number}: probability {probability_text!r} is not a number"
+            ) from exc
+        if not 0.0 < probability <= 1.0:
+            raise GraphFormatError(
+                f"{path}:{line_number}: probability {probability} outside (0, 1]"
+            )
+        graph.add_arc(source, target, probability)
+    return graph
+
+
+def from_weighted_edges(edges: Iterable[tuple]) -> UncertainGraph:
+    """Build an uncertain graph from an in-memory iterable of ``(u, v, p)``."""
+    graph = UncertainGraph()
+    for edge in edges:
+        if len(edge) != 3:
+            raise GraphFormatError(f"expected (source, target, probability), got {edge!r}")
+        u, v, probability = edge
+        graph.add_arc(u, v, float(probability))
+    return graph

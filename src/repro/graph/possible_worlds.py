@@ -1,0 +1,96 @@
+"""Possible-world semantics of uncertain graphs (Eq. 4 of the paper).
+
+An uncertain graph with ``m`` arcs has ``2^m`` possible worlds; each keeps a
+subset of the arcs, and the probability of a world is the product of the
+probabilities of the kept arcs times the complements of the dropped ones.
+
+The exhaustive enumerator is exponential and intended only as a *ground-truth
+oracle* for tests and tiny examples; the Monte-Carlo sampler scales to real
+graphs and underlies the sampling-based SimRank algorithms.
+"""
+
+from __future__ import annotations
+
+from itertools import product
+from typing import Iterator, List, Tuple
+
+from repro.graph.deterministic import DeterministicGraph
+from repro.graph.uncertain_graph import UncertainGraph, Vertex
+from repro.utils.errors import InvalidParameterError
+from repro.utils.rng import RandomState, ensure_rng
+
+# Enumerating more than this many arcs would produce > 2^20 worlds; refuse
+# rather than hang.
+_MAX_ENUMERABLE_ARCS = 20
+
+
+def world_probability(graph: UncertainGraph, world: DeterministicGraph) -> float:
+    """Probability ``Pr(G => G)`` that ``graph`` materialises as ``world``.
+
+    ``world`` must contain exactly the vertices of ``graph`` and a subset of
+    its arcs; otherwise the event is impossible and 0 is returned.
+    """
+    if set(world.vertices()) != set(graph.vertices()):
+        return 0.0
+    present = set(world.arcs())
+    probability = 1.0
+    for u, v, arc_probability in graph.arcs():
+        if (u, v) in present:
+            probability *= arc_probability
+            present.discard((u, v))
+        else:
+            probability *= 1.0 - arc_probability
+    if present:
+        # The world contains an arc that the uncertain graph does not have.
+        return 0.0
+    return probability
+
+
+def enumerate_possible_worlds(
+    graph: UncertainGraph,
+) -> Iterator[Tuple[DeterministicGraph, float]]:
+    """Yield every possible world together with its probability.
+
+    Only feasible for graphs with at most ``20`` arcs; larger inputs raise
+    :class:`InvalidParameterError`.  The probabilities of the yielded worlds
+    sum to 1 (up to floating-point rounding).
+    """
+    arcs: List[Tuple[Vertex, Vertex, float]] = list(graph.arcs())
+    if len(arcs) > _MAX_ENUMERABLE_ARCS:
+        raise InvalidParameterError(
+            f"refusing to enumerate 2^{len(arcs)} possible worlds; "
+            f"the exhaustive enumerator supports at most {_MAX_ENUMERABLE_ARCS} arcs"
+        )
+    vertices = graph.vertices()
+    for keep_flags in product((False, True), repeat=len(arcs)):
+        world = DeterministicGraph(vertices=vertices)
+        probability = 1.0
+        for (u, v, arc_probability), keep in zip(arcs, keep_flags):
+            if keep:
+                world.add_arc(u, v)
+                probability *= arc_probability
+            else:
+                probability *= 1.0 - arc_probability
+        yield world, probability
+
+
+def sample_possible_world(
+    graph: UncertainGraph, rng: RandomState = None
+) -> DeterministicGraph:
+    """Draw one possible world according to the distribution of Eq. 4."""
+    generator = ensure_rng(rng)
+    world = DeterministicGraph(vertices=graph.vertices())
+    for u, v, probability in graph.arcs():
+        if generator.random() < probability:
+            world.add_arc(u, v)
+    return world
+
+
+def sample_possible_worlds(
+    graph: UncertainGraph, count: int, rng: RandomState = None
+) -> List[DeterministicGraph]:
+    """Draw ``count`` independent possible worlds."""
+    if count < 0:
+        raise InvalidParameterError(f"count must be non-negative, got {count}")
+    generator = ensure_rng(rng)
+    return [sample_possible_world(graph, generator) for _ in range(count)]

@@ -1,0 +1,274 @@
+"""The uncertain-graph model (Section II of the paper).
+
+An uncertain graph is a directed graph whose arcs carry independent existence
+probabilities in ``(0, 1]``.  Under the possible-world semantics the graph
+encodes a probability distribution over the ``2^|E|`` deterministic graphs
+obtained by keeping or dropping each arc independently.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, Iterable, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.graph.deterministic import DeterministicGraph
+from repro.utils.errors import InvalidParameterError
+
+Vertex = Hashable
+WeightedArc = Tuple[Vertex, Vertex, float]
+
+
+class UncertainGraph:
+    """A directed graph with independent arc existence probabilities.
+
+    Parameters
+    ----------
+    vertices:
+        Optional vertices to pre-register (isolated vertices are preserved).
+    arcs:
+        Optional iterable of ``(u, v, probability)`` triples.
+
+    Notes
+    -----
+    Following the paper, probabilities must lie in ``(0, 1]``; an arc that can
+    never exist is simply not part of the graph.  Self-loops are allowed (they
+    are legitimate walks of length 1 back to the same vertex).
+    """
+
+    def __init__(
+        self,
+        vertices: Iterable[Vertex] = (),
+        arcs: Iterable[WeightedArc] = (),
+    ) -> None:
+        self._out: Dict[Vertex, Dict[Vertex, float]] = {}
+        self._in: Dict[Vertex, Dict[Vertex, float]] = {}
+        for vertex in vertices:
+            self.add_vertex(vertex)
+        for u, v, probability in arcs:
+            self.add_arc(u, v, probability)
+
+    # -- construction -------------------------------------------------------
+
+    def add_vertex(self, vertex: Vertex) -> None:
+        """Register ``vertex`` (no-op if already present)."""
+        if vertex not in self._out:
+            self._out[vertex] = {}
+            self._in[vertex] = {}
+
+    def add_arc(self, u: Vertex, v: Vertex, probability: float) -> None:
+        """Add arc ``(u, v)`` with the given existence probability.
+
+        Re-adding an existing arc overwrites its probability.
+        """
+        if not 0.0 < probability <= 1.0:
+            raise InvalidParameterError(
+                f"arc probability must be in (0, 1], got {probability!r} for ({u!r}, {v!r})"
+            )
+        self.add_vertex(u)
+        self.add_vertex(v)
+        self._out[u][v] = float(probability)
+        self._in[v][u] = float(probability)
+
+    def remove_arc(self, u: Vertex, v: Vertex) -> None:
+        """Remove arc ``(u, v)``; raises ``KeyError`` if absent."""
+        del self._out[u][v]
+        del self._in[v][u]
+
+    def add_undirected_edge(self, u: Vertex, v: Vertex, probability: float) -> None:
+        """Add both ``(u, v)`` and ``(v, u)`` with the same probability.
+
+        The paper's PPI and co-authorship datasets are undirected; they are
+        represented as symmetric directed uncertain graphs.
+        """
+        self.add_arc(u, v, probability)
+        if u != v:
+            self.add_arc(v, u, probability)
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._out)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of (directed) arcs."""
+        return sum(len(neighbors) for neighbors in self._out.values())
+
+    def vertices(self) -> List[Vertex]:
+        """All vertices in insertion order."""
+        return list(self._out)
+
+    def arcs(self) -> Iterator[WeightedArc]:
+        """Iterate over all ``(u, v, probability)`` triples."""
+        for u, neighbors in self._out.items():
+            for v, probability in neighbors.items():
+                yield (u, v, probability)
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Whether ``vertex`` is present."""
+        return vertex in self._out
+
+    def has_arc(self, u: Vertex, v: Vertex) -> bool:
+        """Whether arc ``(u, v)`` is present."""
+        return u in self._out and v in self._out[u]
+
+    def probability(self, u: Vertex, v: Vertex) -> float:
+        """Existence probability of arc ``(u, v)``; raises ``KeyError`` if absent."""
+        return self._out[u][v]
+
+    def out_neighbors(self, vertex: Vertex) -> List[Vertex]:
+        """Out-neighbours of ``vertex`` (vertices reachable by one arc)."""
+        return list(self._out[vertex])
+
+    def in_neighbors(self, vertex: Vertex) -> List[Vertex]:
+        """In-neighbours of ``vertex``."""
+        return list(self._in[vertex])
+
+    def out_arcs(self, vertex: Vertex) -> Dict[Vertex, float]:
+        """Mapping of out-neighbour to arc probability (a copy)."""
+        return dict(self._out[vertex])
+
+    def in_arcs(self, vertex: Vertex) -> Dict[Vertex, float]:
+        """Mapping of in-neighbour to arc probability (a copy)."""
+        return dict(self._in[vertex])
+
+    def out_degree(self, vertex: Vertex) -> int:
+        """Number of potential out-arcs of ``vertex``."""
+        return len(self._out[vertex])
+
+    def in_degree(self, vertex: Vertex) -> int:
+        """Number of potential in-arcs of ``vertex``."""
+        return len(self._in[vertex])
+
+    def expected_out_degree(self, vertex: Vertex) -> float:
+        """Expected out-degree ``Σ_e P(e)`` over the out-arcs of ``vertex``."""
+        return float(sum(self._out[vertex].values()))
+
+    def average_degree(self) -> float:
+        """Average potential out-degree, the ``d`` of the complexity analyses."""
+        if not self._out:
+            return 0.0
+        return self.num_arcs / self.num_vertices
+
+    # -- indexing and matrix views -------------------------------------------
+
+    def vertex_index(self, order: Sequence[Vertex] | None = None) -> Dict[Vertex, int]:
+        """Mapping from vertex to a dense integer index."""
+        vertices = list(order) if order is not None else self.vertices()
+        return {vertex: index for index, vertex in enumerate(vertices)}
+
+    def probability_matrix(self, order: Sequence[Vertex] | None = None) -> np.ndarray:
+        """Dense matrix ``P`` with ``P[i, j]`` the probability of arc ``(i, j)``."""
+        index = self.vertex_index(order)
+        n = len(index)
+        matrix = np.zeros((n, n), dtype=float)
+        for u, v, probability in self.arcs():
+            if u in index and v in index:
+                matrix[index[u], index[v]] = probability
+        return matrix
+
+    # -- conversions ---------------------------------------------------------
+
+    def to_deterministic(self, threshold: float = 0.0) -> DeterministicGraph:
+        """Strip uncertainty: keep every arc with probability > ``threshold``.
+
+        With the default threshold this is the "remove uncertainty" graph used
+        by the SimRank-II / Jaccard-II comparators in the paper's experiments.
+        """
+        graph = DeterministicGraph(vertices=self.vertices())
+        for u, v, probability in self.arcs():
+            if probability > threshold:
+                graph.add_arc(u, v)
+        return graph
+
+    def to_networkx(self):
+        """Export to a :class:`networkx.DiGraph` with ``probability`` edge data."""
+        import networkx as nx
+
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.vertices())
+        for u, v, probability in self.arcs():
+            graph.add_edge(u, v, probability=probability)
+        return graph
+
+    @classmethod
+    def from_networkx(cls, graph, probability_attribute: str = "probability") -> "UncertainGraph":
+        """Build from a networkx graph whose edges carry a probability attribute.
+
+        Missing attributes default to probability 1.  Undirected edges are
+        added in both directions.
+        """
+        result = cls(vertices=graph.nodes())
+        directed = graph.is_directed()
+        for u, v, data in graph.edges(data=True):
+            probability = float(data.get(probability_attribute, 1.0))
+            result.add_arc(u, v, probability)
+            if not directed and u != v:
+                result.add_arc(v, u, probability)
+        return result
+
+    @classmethod
+    def from_deterministic(
+        cls, graph: DeterministicGraph, probability: float = 1.0
+    ) -> "UncertainGraph":
+        """Wrap a deterministic graph, giving every arc the same probability.
+
+        With ``probability=1`` this is the embedding used by Theorem 3 (the
+        uncertain SimRank then coincides with deterministic SimRank).
+        """
+        result = cls(vertices=graph.vertices())
+        for u, v in graph.arcs():
+            result.add_arc(u, v, probability)
+        return result
+
+    def copy(self) -> "UncertainGraph":
+        """Deep copy of the structure and probabilities."""
+        return UncertainGraph(vertices=self.vertices(), arcs=self.arcs())
+
+    def reversed(self) -> "UncertainGraph":
+        """Graph with every arc reversed (probabilities preserved)."""
+        result = UncertainGraph(vertices=self.vertices())
+        for u, v, probability in self.arcs():
+            result.add_arc(v, u, probability)
+        return result
+
+    def subgraph(self, vertices: Iterable[Vertex]) -> "UncertainGraph":
+        """Induced subgraph on ``vertices`` (arcs with both endpoints kept)."""
+        keep = set(vertices)
+        result = UncertainGraph(vertices=[v for v in self.vertices() if v in keep])
+        for u, v, probability in self.arcs():
+            if u in keep and v in keep:
+                result.add_arc(u, v, probability)
+        return result
+
+    # -- dunder --------------------------------------------------------------
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return vertex in self._out
+
+    def __repr__(self) -> str:
+        return f"UncertainGraph(|V|={self.num_vertices}, |E|={self.num_arcs})"
+
+
+def example_graph() -> UncertainGraph:
+    """A five-vertex, eight-arc uncertain graph modelled on Fig. 1(a).
+
+    The arc set is chosen to be consistent with the walk-probability example
+    of Table I in the paper: the walk ``v1 v3 v1 v3 v4 v2 v3 v4 v2`` is a
+    valid walk, and the out-neighbour sets of ``v1``–``v4`` match the table
+    (``O(v1) = {v3}``, ``O(v2) = {v1, v3}``, ``O(v3) = {v1, v4}``,
+    ``O(v4) = {v2, v5}``).  It is the shared fixture of the unit tests.
+    """
+    graph = UncertainGraph()
+    graph.add_arc("v1", "v3", 0.8)
+    graph.add_arc("v2", "v3", 0.9)
+    graph.add_arc("v2", "v1", 0.8)
+    graph.add_arc("v3", "v1", 0.5)
+    graph.add_arc("v3", "v4", 0.6)
+    graph.add_arc("v4", "v2", 0.7)
+    graph.add_arc("v4", "v5", 0.6)
+    graph.add_arc("v5", "v3", 0.8)
+    return graph

@@ -1,0 +1,18 @@
+"""Similar-protein detection case study (Section VII-C, Figs. 13–14)."""
+
+from repro.ppi.similar_proteins import (
+    ProteinPairResult,
+    complex_agreement,
+    top_similar_proteins_to,
+    top_similar_protein_pairs,
+)
+from repro.graph.generators import PPINetwork, planted_partition_ppi
+
+__all__ = [
+    "PPINetwork",
+    "planted_partition_ppi",
+    "ProteinPairResult",
+    "complex_agreement",
+    "top_similar_protein_pairs",
+    "top_similar_proteins_to",
+]

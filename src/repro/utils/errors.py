@@ -1,0 +1,28 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised on purpose by this library derives from :class:`ReproError`
+so that callers can catch library failures without also swallowing programming
+errors such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """An argument is outside its documented domain.
+
+    Examples include a decay factor outside ``(0, 1)``, a non-positive number
+    of sampled walks, or an edge probability outside ``(0, 1]``.
+    """
+
+
+class GraphFormatError(ReproError, ValueError):
+    """An on-disk graph file (or in-memory edge list) is malformed."""
+
+
+class ConvergenceError(ReproError, RuntimeError):
+    """An iterative procedure failed to converge within its iteration budget."""

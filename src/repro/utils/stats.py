@@ -1,0 +1,92 @@
+"""Error and bias statistics used across the evaluation harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence, Tuple
+
+import numpy as np
+
+
+def relative_error(estimate: float, reference: float, eps: float = 1e-12) -> float:
+    """Relative error ``|estimate - reference| / reference``.
+
+    The paper evaluates accuracy as the relative error against the value
+    produced by the Baseline algorithm.  When the reference is (numerically)
+    zero, the absolute error is returned instead so the statistic stays
+    finite.
+    """
+    if reference > eps:
+        return abs(estimate - reference) / reference
+    return abs(estimate - reference)
+
+
+def relative_errors(
+    estimates: Iterable[float], references: Iterable[float], eps: float = 1e-12
+) -> np.ndarray:
+    """Vectorised :func:`relative_error` over paired sequences."""
+    est = np.asarray(list(estimates), dtype=float)
+    ref = np.asarray(list(references), dtype=float)
+    if est.shape != ref.shape:
+        raise ValueError(f"shape mismatch: {est.shape} vs {ref.shape}")
+    out = np.empty_like(est)
+    safe = ref > eps
+    out[safe] = np.abs(est[safe] - ref[safe]) / ref[safe]
+    out[~safe] = np.abs(est[~safe] - ref[~safe])
+    return out
+
+
+def mean_and_max(values: Sequence[float]) -> Tuple[float, float]:
+    """Return ``(mean, max)`` of a non-empty sequence."""
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        raise ValueError("mean_and_max requires at least one value")
+    return float(arr.mean()), float(arr.max())
+
+
+@dataclass(frozen=True)
+class BiasSummary:
+    """Summary of the absolute differences between two similarity series.
+
+    Mirrors Table III of the paper (average / maximum / minimum bias between
+    SimRank-I and another similarity measure over the sampled vertex pairs).
+    """
+
+    average: float
+    maximum: float
+    minimum: float
+
+    def as_row(self) -> Tuple[float, float, float]:
+        """Return ``(average, maximum, minimum)`` for table printing."""
+        return (self.average, self.maximum, self.minimum)
+
+
+def summarize_bias(reference: Sequence[float], other: Sequence[float]) -> BiasSummary:
+    """Bias statistics of ``other`` against ``reference`` (Table III)."""
+    ref = np.asarray(reference, dtype=float)
+    oth = np.asarray(other, dtype=float)
+    if ref.shape != oth.shape:
+        raise ValueError(f"shape mismatch: {ref.shape} vs {oth.shape}")
+    if ref.size == 0:
+        raise ValueError("summarize_bias requires at least one pair")
+    diff = np.abs(ref - oth)
+    return BiasSummary(
+        average=float(diff.mean()),
+        maximum=float(diff.max()),
+        minimum=float(diff.min()),
+    )
+
+
+def normalize_to_unit_interval(values: Sequence[float]) -> np.ndarray:
+    """Min-max normalise a sequence to ``[0, 1]``.
+
+    The paper normalises all similarity series to ``[0, 1]`` before comparing
+    measures (Fig. 7).  A constant series normalises to all zeros.
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size == 0:
+        return arr
+    low, high = arr.min(), arr.max()
+    if high - low <= 0:
+        return np.zeros_like(arr)
+    return (arr - low) / (high - low)

@@ -1,0 +1,72 @@
+"""Small timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Callable, Iterator, Tuple, TypeVar
+
+T = TypeVar("T")
+
+
+class Timer:
+    """Accumulating wall-clock timer.
+
+    Use either as a context manager (one interval per ``with`` block) or via
+    explicit :meth:`start` / :meth:`stop` calls.  ``elapsed`` reports the total
+    accumulated time in seconds.
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self.intervals: list[float] = []
+        self._started_at: float | None = None
+
+    def start(self) -> None:
+        """Begin an interval; raises if one is already running."""
+        if self._started_at is not None:
+            raise RuntimeError("Timer already running")
+        self._started_at = time.perf_counter()
+
+    def stop(self) -> float:
+        """End the current interval and return its duration in seconds."""
+        if self._started_at is None:
+            raise RuntimeError("Timer is not running")
+        interval = time.perf_counter() - self._started_at
+        self._started_at = None
+        self.elapsed += interval
+        self.intervals.append(interval)
+        return interval
+
+    def __enter__(self) -> "Timer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    @property
+    def mean_interval(self) -> float:
+        """Average duration of recorded intervals (0.0 when none recorded)."""
+        if not self.intervals:
+            return 0.0
+        return sum(self.intervals) / len(self.intervals)
+
+
+@contextmanager
+def timed() -> Iterator[Timer]:
+    """Context manager yielding a one-shot :class:`Timer`."""
+    timer = Timer()
+    timer.start()
+    try:
+        yield timer
+    finally:
+        if timer._started_at is not None:
+            timer.stop()
+
+
+def time_call(func: Callable[..., T], *args: object, **kwargs: object) -> Tuple[T, float]:
+    """Call ``func`` and return ``(result, elapsed_seconds)``."""
+    start = time.perf_counter()
+    result = func(*args, **kwargs)
+    return result, time.perf_counter() - start

@@ -1,0 +1,69 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.uncertain_graph import UncertainGraph, example_graph
+
+
+@pytest.fixture
+def paper_graph() -> UncertainGraph:
+    """The five-vertex graph modelled on Fig. 1(a) of the paper."""
+    return example_graph()
+
+
+@pytest.fixture
+def triangle_graph() -> UncertainGraph:
+    """A directed triangle with a self-loop — smallest graph with short cycles.
+
+    Short cycles are exactly the structures for which ``W(k) != (W(1))^k``,
+    so this graph exercises the paper's central claim.
+    """
+    graph = UncertainGraph()
+    graph.add_arc("a", "b", 0.9)
+    graph.add_arc("b", "c", 0.8)
+    graph.add_arc("c", "a", 0.7)
+    graph.add_arc("a", "a", 0.5)
+    graph.add_arc("b", "a", 0.6)
+    return graph
+
+
+@pytest.fixture
+def chain_graph() -> UncertainGraph:
+    """An acyclic chain a → b → c → d (girth = None, no revisits possible)."""
+    graph = UncertainGraph()
+    graph.add_arc("a", "b", 0.9)
+    graph.add_arc("b", "c", 0.5)
+    graph.add_arc("c", "d", 0.7)
+    return graph
+
+
+@pytest.fixture
+def certain_graph() -> UncertainGraph:
+    """An uncertain graph whose arcs all have probability 1 (Theorem 3 setting)."""
+    graph = UncertainGraph()
+    arcs = [("a", "b"), ("b", "c"), ("c", "a"), ("a", "c"), ("c", "d"), ("d", "a")]
+    for u, v in arcs:
+        graph.add_arc(u, v, 1.0)
+    return graph
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic random generator for reproducible tests."""
+    return np.random.default_rng(12345)
+
+
+def small_random_uncertain_graph(
+    num_vertices: int, arc_probability: float, seed: int
+) -> UncertainGraph:
+    """Helper used by several test modules to build small random graphs."""
+    generator = np.random.default_rng(seed)
+    graph = UncertainGraph(vertices=range(num_vertices))
+    for u in range(num_vertices):
+        for v in range(num_vertices):
+            if u != v and generator.random() < arc_probability:
+                graph.add_arc(u, v, float(generator.uniform(0.1, 1.0)))
+    return graph

@@ -1,0 +1,205 @@
+"""Tests for the comparator similarity measures (SimRank-II/III, Jaccard/Dice/cosine)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.simrank_deterministic import (
+    deterministic_simrank_matrix,
+    deterministic_simrank_pair,
+)
+from repro.baselines.simrank_du import du_simrank_matrix, du_simrank_pair
+from repro.baselines.structural_context import (
+    deterministic_cosine,
+    deterministic_dice,
+    deterministic_jaccard,
+    expected_cosine,
+    expected_dice,
+    expected_jaccard,
+)
+from repro.core.baseline import baseline_simrank
+from repro.graph.deterministic import DeterministicGraph
+from repro.graph.possible_worlds import enumerate_possible_worlds
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.errors import InvalidParameterError
+from tests.conftest import small_random_uncertain_graph
+
+
+class TestDeterministicSimRank:
+    def test_matrix_diagonal_and_range(self, certain_graph):
+        matrix = deterministic_simrank_matrix(certain_graph, iterations=5)
+        assert (matrix >= -1e-12).all() and (matrix <= 1 + 1e-12).all()
+        assert np.allclose(matrix, matrix.T)
+
+    def test_pair_matches_matrix(self, certain_graph):
+        order = certain_graph.vertices()
+        index = {v: i for i, v in enumerate(order)}
+        matrix = deterministic_simrank_matrix(certain_graph, iterations=4, order=order)
+        for u, v in [("a", "b"), ("c", "d")]:
+            pair = deterministic_simrank_pair(certain_graph, u, v, iterations=4)
+            assert pair == pytest.approx(matrix[index[u], index[v]], abs=1e-10)
+
+    def test_accepts_deterministic_graph(self):
+        graph = DeterministicGraph(arcs=[("a", "b"), ("b", "a"), ("b", "c")])
+        value = deterministic_simrank_pair(graph, "a", "c", iterations=4)
+        assert 0.0 <= value <= 1.0
+
+    def test_in_direction_matches_reverse_out(self, paper_graph):
+        reverse = paper_graph.reversed().to_deterministic()
+        forward = paper_graph.to_deterministic()
+        value_in = deterministic_simrank_pair(forward, "v1", "v2", direction="in", iterations=4)
+        value_out = deterministic_simrank_pair(reverse, "v1", "v2", direction="out", iterations=4)
+        assert value_in == pytest.approx(value_out, abs=1e-10)
+
+    def test_invalid_direction(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            deterministic_simrank_pair(paper_graph, "v1", "v2", direction="sideways")
+
+    def test_unknown_vertex(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            deterministic_simrank_pair(paper_graph, "v1", "nope")
+
+    def test_symmetric(self, paper_graph):
+        forward = deterministic_simrank_pair(paper_graph, "v1", "v2", iterations=4)
+        backward = deterministic_simrank_pair(paper_graph, "v2", "v1", iterations=4)
+        assert forward == pytest.approx(backward)
+
+
+class TestDuSimRank:
+    def test_equals_baseline_on_certain_graph(self, certain_graph):
+        """With a single possible world the Markov assumption is harmless."""
+        for u, v in [("a", "b"), ("b", "d")]:
+            du = du_simrank_pair(certain_graph, u, v, iterations=4)
+            exact = baseline_simrank(certain_graph, u, v, iterations=4).score
+            assert du == pytest.approx(exact, abs=1e-10)
+
+    def test_differs_from_baseline_on_cyclic_uncertain_graph(self, paper_graph):
+        """On graphs with short cycles the W(k) = W(1)^k assumption is wrong,
+        which is exactly the paper's criticism of Du et al."""
+        differences = []
+        for u, v in [("v1", "v2"), ("v2", "v4"), ("v1", "v3")]:
+            du = du_simrank_pair(paper_graph, u, v, iterations=5)
+            exact = baseline_simrank(paper_graph, u, v, iterations=5).score
+            differences.append(abs(du - exact))
+        assert max(differences) > 1e-4
+
+    def test_matrix_pair_consistency(self, paper_graph):
+        order = paper_graph.vertices()
+        index = {v: i for i, v in enumerate(order)}
+        matrix = du_simrank_matrix(paper_graph, iterations=4, order=order)
+        pair = du_simrank_pair(paper_graph, "v1", "v2", iterations=4)
+        assert matrix[index["v1"], index["v2"]] == pytest.approx(pair, abs=1e-10)
+
+    def test_unknown_vertex(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            du_simrank_pair(paper_graph, "v1", "nope")
+
+
+def _neighborhood_oracle(graph: UncertainGraph, u, v, kind: str) -> float:
+    """Brute-force expectation of a structural-context measure over possible worlds."""
+    total = 0.0
+    for world, probability in enumerate_possible_worlds(graph):
+        neighbors_u = world.out_neighbors(u)
+        neighbors_v = world.out_neighbors(v)
+        if kind == "jaccard":
+            union = neighbors_u | neighbors_v
+            value = len(neighbors_u & neighbors_v) / len(union) if union else 0.0
+        elif kind == "dice":
+            total_degree = len(neighbors_u) + len(neighbors_v)
+            value = 2 * len(neighbors_u & neighbors_v) / total_degree if total_degree else 0.0
+        else:
+            if neighbors_u and neighbors_v:
+                value = len(neighbors_u & neighbors_v) / np.sqrt(
+                    len(neighbors_u) * len(neighbors_v)
+                )
+            else:
+                value = 0.0
+        total += probability * value
+    return total
+
+
+class TestStructuralContext:
+    def test_deterministic_measures_on_known_graph(self):
+        graph = UncertainGraph()
+        graph.add_arc("u", "a", 0.9)
+        graph.add_arc("u", "b", 0.9)
+        graph.add_arc("v", "b", 0.9)
+        graph.add_arc("v", "c", 0.9)
+        assert deterministic_jaccard(graph, "u", "v") == pytest.approx(1 / 3)
+        assert deterministic_dice(graph, "u", "v") == pytest.approx(0.5)
+        assert deterministic_cosine(graph, "u", "v") == pytest.approx(0.5)
+
+    def test_no_common_neighbors_is_zero(self, chain_graph):
+        assert deterministic_jaccard(chain_graph, "a", "c") == 0.0
+        assert expected_jaccard(chain_graph, "a", "c") == 0.0
+
+    def test_empty_neighborhoods(self):
+        graph = UncertainGraph(vertices=["u", "v"])
+        assert deterministic_jaccard(graph, "u", "v") == 0.0
+        assert deterministic_dice(graph, "u", "v") == 0.0
+        assert deterministic_cosine(graph, "u", "v") == 0.0
+        assert expected_jaccard(graph, "u", "v") == 0.0
+        assert expected_dice(graph, "u", "v") == 0.0
+        assert expected_cosine(graph, "u", "v") == 0.0
+
+    def test_expected_jaccard_matches_oracle(self, paper_graph):
+        for u, v in [("v1", "v2"), ("v2", "v5"), ("v3", "v4")]:
+            assert expected_jaccard(paper_graph, u, v) == pytest.approx(
+                _neighborhood_oracle(paper_graph, u, v, "jaccard"), abs=1e-10
+            )
+
+    def test_expected_dice_matches_oracle(self, paper_graph):
+        for u, v in [("v1", "v2"), ("v2", "v5")]:
+            assert expected_dice(paper_graph, u, v) == pytest.approx(
+                _neighborhood_oracle(paper_graph, u, v, "dice"), abs=1e-10
+            )
+
+    def test_expected_cosine_matches_oracle_exact_branch(self, paper_graph):
+        for u, v in [("v1", "v2"), ("v2", "v5")]:
+            assert expected_cosine(paper_graph, u, v) == pytest.approx(
+                _neighborhood_oracle(paper_graph, u, v, "cosine"), abs=1e-10
+            )
+
+    def test_expected_cosine_sampling_branch(self):
+        """A vertex pair with a large joint neighbourhood uses the Monte-Carlo path."""
+        graph = UncertainGraph()
+        for i in range(20):
+            graph.add_arc("u", f"w{i}", 0.5)
+            graph.add_arc("v", f"w{i}", 0.5)
+        exact_small = expected_cosine(graph, "u", "v", num_samples=4000, rng=1)
+        assert 0.3 <= exact_small <= 0.7
+
+    def test_expected_equals_deterministic_when_probability_one(self, certain_graph):
+        for u, v in [("a", "b"), ("a", "c")]:
+            assert expected_jaccard(certain_graph, u, v) == pytest.approx(
+                deterministic_jaccard(certain_graph, u, v)
+            )
+            assert expected_dice(certain_graph, u, v) == pytest.approx(
+                deterministic_dice(certain_graph, u, v)
+            )
+
+    def test_direction_in(self, paper_graph):
+        value = expected_jaccard(paper_graph, "v1", "v4", direction="in")
+        assert 0.0 <= value <= 1.0
+
+    def test_invalid_direction(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            deterministic_jaccard(paper_graph, "v1", "v2", direction="diagonal")
+        with pytest.raises(InvalidParameterError):
+            expected_jaccard(paper_graph, "v1", "v2", direction="diagonal")
+
+    def test_unknown_vertex(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            expected_jaccard(paper_graph, "v1", "nope")
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_expected_measures_in_unit_interval(self, seed):
+        graph = small_random_uncertain_graph(5, 0.4, seed=seed)
+        vertices = graph.vertices()
+        u, v = vertices[0], vertices[1]
+        for measure in (expected_jaccard, expected_dice):
+            value = measure(graph, u, v)
+            assert -1e-12 <= value <= 1.0 + 1e-12

@@ -1,0 +1,72 @@
+"""Tests for the experiment CLI and the runnable example scripts."""
+
+from __future__ import annotations
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.__main__ import EXPERIMENTS, main
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+class TestCLI:
+    def test_experiment_registry_complete(self):
+        assert {
+            "datasets",
+            "measures",
+            "convergence",
+            "efficiency",
+            "accuracy",
+            "param-n",
+            "scalability",
+            "case-ppi",
+            "case-er",
+        } == set(EXPERIMENTS)
+
+    def test_main_runs_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        output = capsys.readouterr().out
+        assert "ppi1" in output and "dblp" in output
+
+    def test_main_rejects_unknown_experiment(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_quick_flag_accepted(self, capsys):
+        assert main(["datasets", "--quick"]) == 0
+        assert "paper |V|" in capsys.readouterr().out
+
+
+class TestExamples:
+    def test_examples_exist(self):
+        expected = {
+            "quickstart.py",
+            "ppi_similar_proteins.py",
+            "entity_resolution.py",
+            "measure_comparison.py",
+            "scalability_sweep.py",
+            "run_all_experiments.py",
+        }
+        assert expected <= {path.name for path in EXAMPLES_DIR.glob("*.py")}
+
+    def test_quickstart_runs(self):
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLES_DIR / "quickstart.py")],
+            capture_output=True,
+            text=True,
+            timeout=300,
+        )
+        assert completed.returncode == 0, completed.stderr
+        assert "SimRank similarity" in completed.stdout
+        assert "baseline" in completed.stdout
+
+    def test_examples_are_importable_modules(self):
+        """Every example must at least compile (syntax / import sanity)."""
+        import py_compile
+
+        for path in EXAMPLES_DIR.glob("*.py"):
+            py_compile.compile(str(path), doraise=True)

@@ -1,0 +1,134 @@
+"""Tests for the SimRankEngine front end and the top-k query helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.baseline import baseline_simrank
+from repro.core.engine import METHODS, SimRankEngine, compute_simrank
+from repro.core.topk import top_k_similar_pairs, top_k_similar_to
+from repro.utils.errors import InvalidParameterError
+
+
+class TestEngine:
+    def test_all_methods_produce_scores(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=400, seed=3)
+        for method in METHODS:
+            result = engine.similarity("v1", "v2", method=method)
+            assert 0.0 <= result.score <= 1.0
+
+    def test_unknown_method_rejected(self, paper_graph):
+        engine = SimRankEngine(paper_graph)
+        with pytest.raises(InvalidParameterError):
+            engine.similarity("v1", "v2", method="magic")
+
+    def test_invalid_construction(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            SimRankEngine(paper_graph, decay=1.5)
+        with pytest.raises(InvalidParameterError):
+            SimRankEngine(paper_graph, iterations=0)
+        with pytest.raises(InvalidParameterError):
+            SimRankEngine(paper_graph, num_walks=0)
+        with pytest.raises(InvalidParameterError):
+            SimRankEngine(paper_graph, exact_prefix=9, iterations=3)
+
+    def test_baseline_matches_direct_call(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=4)
+        direct = baseline_simrank(paper_graph, "v1", "v2", iterations=4).score
+        assert engine.similarity("v1", "v2", method="baseline").score == pytest.approx(direct)
+
+    def test_filters_are_cached_and_rebuildable(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=100, seed=5)
+        first = engine.filters
+        assert engine.filters is first
+        rebuilt = engine.rebuild_filters()
+        assert rebuilt is not first
+        assert engine.filters is rebuilt
+
+    def test_filters_track_num_walks(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=64, seed=5)
+        assert engine.filters.num_processes == 64
+        engine.num_walks = 128
+        assert engine.filters.num_processes == 128
+
+    def test_similarity_many(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=100, seed=7)
+        results = engine.similarity_many([("v1", "v2"), ("v2", "v3")], method="sampling")
+        assert len(results) == 2
+        assert {(r.u, r.v) for r in results} == {("v1", "v2"), ("v2", "v3")}
+
+    def test_similarity_matrix(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=3)
+        matrix = engine.similarity_matrix(order=paper_graph.vertices())
+        assert matrix.shape == (5, 5)
+
+    def test_method_overrides_forwarded(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=100, seed=9)
+        result = engine.similarity("v1", "v2", method="two_phase", exact_prefix=2)
+        assert result.details["exact_prefix"] == 2
+
+    def test_compute_simrank_convenience(self, paper_graph):
+        result = compute_simrank(paper_graph, "v1", "v2", method="sampling", num_walks=200, seed=1)
+        assert result.method == "sampling"
+        assert 0.0 <= result.score <= 1.0
+
+
+class TestTopK:
+    def test_pairs_match_exhaustive_ranking(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=3)
+        top = top_k_similar_pairs(engine, k=3, method="baseline")
+        assert len(top) == 3
+        # Compare with a brute-force ranking over all pairs.
+        from itertools import combinations
+
+        scores = {
+            (u, v): engine.similarity(u, v, method="baseline").score
+            for u, v in combinations(paper_graph.vertices(), 2)
+        }
+        best = sorted(scores.items(), key=lambda item: item[1], reverse=True)[:3]
+        assert [score for _, _, score in top] == pytest.approx([s for _, s in best])
+
+    def test_pairs_sorted_descending(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=3)
+        top = top_k_similar_pairs(engine, k=5, method="baseline")
+        scores = [score for _, _, score in top]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_pairs_candidate_restriction(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=3)
+        candidates = [("v1", "v2"), ("v3", "v4")]
+        top = top_k_similar_pairs(engine, k=2, candidate_pairs=candidates, method="baseline")
+        assert {(u, v) for u, v, _ in top} <= set(candidates)
+
+    def test_pairs_invalid_k(self, paper_graph):
+        engine = SimRankEngine(paper_graph)
+        with pytest.raises(InvalidParameterError):
+            top_k_similar_pairs(engine, k=0)
+
+    def test_similar_to_matches_exhaustive_ranking(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=3)
+        top = top_k_similar_to(engine, "v1", k=2, method="baseline")
+        scores = {
+            v: engine.similarity("v1", v, method="baseline").score
+            for v in paper_graph.vertices()
+            if v != "v1"
+        }
+        best = sorted(scores.items(), key=lambda item: item[1], reverse=True)[:2]
+        assert [score for _, score in top] == pytest.approx([s for _, s in best])
+
+    def test_similar_to_excludes_query(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=3)
+        top = top_k_similar_to(engine, "v1", k=4, method="baseline")
+        assert all(vertex != "v1" for vertex, _ in top)
+
+    def test_similar_to_candidates(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=3)
+        top = top_k_similar_to(engine, "v1", k=2, candidates=["v2", "v3", "v1"], method="baseline")
+        assert {vertex for vertex, _ in top} <= {"v2", "v3"}
+
+    def test_similar_to_invalid_inputs(self, paper_graph):
+        engine = SimRankEngine(paper_graph)
+        with pytest.raises(InvalidParameterError):
+            top_k_similar_to(engine, "v1", k=0)
+        with pytest.raises(InvalidParameterError):
+            top_k_similar_to(engine, "nope", k=2)

@@ -1,0 +1,236 @@
+"""Tests for the entity-resolution substrate (records, graph, clustering, algorithms)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.er.algorithms import (
+    distinct_algorithm,
+    eif_algorithm,
+    sim_der_algorithm,
+    sim_er_algorithm,
+)
+from repro.er.clustering import cluster_by_threshold, connected_component_clusters
+from repro.er.graph_builder import (
+    build_entity_graph,
+    record_context_similarity,
+    strip_low_probability_edges,
+)
+from repro.er.metrics import ResolutionQuality, pairwise_quality
+from repro.er.records import (
+    AmbiguousNameSpec,
+    Record,
+    TABLE_IV_NAMES,
+    generate_record_dataset,
+    scaled_record_dataset,
+)
+from repro.utils.errors import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def small_dataset():
+    specs = [
+        AmbiguousNameSpec("Alpha Author", 3, 18),
+        AmbiguousNameSpec("Beta Writer", 2, 12),
+    ]
+    return generate_record_dataset(specs, noise=0.1, rng=99)
+
+
+class TestRecords:
+    def test_default_dataset_matches_table_four(self):
+        dataset = generate_record_dataset(rng=1)
+        assert len(dataset.names()) == len(TABLE_IV_NAMES)
+        for name, num_authors, num_records in TABLE_IV_NAMES:
+            records = dataset.by_name(name)
+            assert len(records) == num_records
+            assert len({record.true_author for record in records}) == num_authors
+
+    def test_record_ids_unique(self, small_dataset):
+        ids = [record.record_id for record in small_dataset.records]
+        assert len(ids) == len(set(ids))
+
+    def test_ground_truth_mapping(self, small_dataset):
+        truth = small_dataset.ground_truth("Alpha Author")
+        assert len(truth) == 18
+        assert all(author.startswith("AlphaAuthor_A") for author in truth.values())
+
+    def test_feature_set(self):
+        record = Record("r1", "Name", ("c1", "c2"), "v1", ("t1",), "author")
+        assert record.feature_set() == frozenset({"c1", "c2", "v1", "t1"})
+
+    def test_invalid_noise(self):
+        with pytest.raises(InvalidParameterError):
+            generate_record_dataset(noise=1.0)
+
+    def test_invalid_spec(self):
+        with pytest.raises(InvalidParameterError):
+            generate_record_dataset([AmbiguousNameSpec("X", 5, 2)])
+
+    def test_scaled_dataset_size(self):
+        dataset = scaled_record_dataset(160, num_names=4, rng=2)
+        assert len(dataset) == 160
+        assert len(dataset.names()) == 4
+
+    def test_scaled_dataset_too_small(self):
+        with pytest.raises(InvalidParameterError):
+            scaled_record_dataset(10, num_names=8, authors_per_name=4)
+
+    def test_reproducible(self):
+        first = generate_record_dataset([AmbiguousNameSpec("N", 2, 6)], rng=5)
+        second = generate_record_dataset([AmbiguousNameSpec("N", 2, 6)], rng=5)
+        assert [r.coauthors for r in first.records] == [r.coauthors for r in second.records]
+
+
+class TestEntityGraph:
+    def test_same_author_records_more_similar(self, small_dataset):
+        records = small_dataset.by_name("Alpha Author")
+        same, different = [], []
+        for i in range(len(records)):
+            for j in range(i + 1, len(records)):
+                score = record_context_similarity(records[i], records[j])
+                if records[i].true_author == records[j].true_author:
+                    same.append(score)
+                else:
+                    different.append(score)
+        assert sum(same) / len(same) > sum(different) / len(different)
+
+    def test_similarity_in_unit_interval(self, small_dataset):
+        records = small_dataset.records
+        for i in range(0, len(records), 3):
+            for j in range(i + 1, len(records), 5):
+                assert 0.0 <= record_context_similarity(records[i], records[j]) <= 1.0
+
+    def test_build_entity_graph(self, small_dataset):
+        records = small_dataset.by_name("Beta Writer")
+        graph = build_entity_graph(records)
+        assert graph.num_vertices == len(records)
+        assert graph.num_arcs > 0
+        for u, v, probability in graph.arcs():
+            assert 0.0 < probability <= 1.0
+            assert graph.has_arc(v, u)
+
+    def test_build_entity_graph_invalid_threshold(self, small_dataset):
+        with pytest.raises(InvalidParameterError):
+            build_entity_graph(small_dataset.records[:4], min_probability=1.5)
+
+    def test_strip_low_probability_edges(self, small_dataset):
+        records = small_dataset.by_name("Beta Writer")
+        graph = build_entity_graph(records)
+        pruned = strip_low_probability_edges(graph, 0.5)
+        assert pruned.num_arcs <= graph.num_arcs
+        assert all(probability >= 0.5 for _, _, probability in pruned.arcs())
+        with pytest.raises(InvalidParameterError):
+            strip_low_probability_edges(graph, 1.5)
+
+
+class TestClustering:
+    def test_connected_components(self):
+        clusters = connected_component_clusters(
+            ["a", "b", "c", "d"], [("a", "b"), ("b", "c")]
+        )
+        as_sets = sorted(map(frozenset, clusters), key=len)
+        assert as_sets == [frozenset({"d"}), frozenset({"a", "b", "c"})]
+
+    def test_unknown_item_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            connected_component_clusters(["a"], [("a", "zzz")])
+
+    def test_cluster_by_threshold(self):
+        items = ["a", "b", "c"]
+        similarity = lambda x, y: 1.0 if {x, y} == {"a", "b"} else 0.0
+        clusters = cluster_by_threshold(items, similarity, threshold=0.5)
+        as_sets = sorted(map(frozenset, clusters), key=len)
+        assert as_sets == [frozenset({"c"}), frozenset({"a", "b"})]
+
+    def test_cluster_by_threshold_negative(self):
+        with pytest.raises(InvalidParameterError):
+            cluster_by_threshold(["a"], lambda x, y: 0.0, threshold=-1)
+
+    def test_cluster_by_threshold_candidates(self):
+        items = ["a", "b", "c"]
+        clusters = cluster_by_threshold(
+            items, lambda x, y: 1.0, threshold=0.5, candidate_pairs=[("a", "b")]
+        )
+        assert sorted(map(len, clusters)) == [1, 2]
+
+
+class TestMetrics:
+    def test_perfect_clustering(self):
+        truth = {"r1": "A", "r2": "A", "r3": "B"}
+        quality = pairwise_quality([["r1", "r2"], ["r3"]], truth)
+        assert quality.precision == 1.0 and quality.recall == 1.0 and quality.f1 == 1.0
+
+    def test_under_merged(self):
+        truth = {"r1": "A", "r2": "A", "r3": "A"}
+        quality = pairwise_quality([["r1", "r2"], ["r3"]], truth)
+        assert quality.precision == 1.0
+        assert quality.recall == pytest.approx(1 / 3)
+
+    def test_over_merged(self):
+        truth = {"r1": "A", "r2": "A", "r3": "B"}
+        quality = pairwise_quality([["r1", "r2", "r3"]], truth)
+        assert quality.recall == 1.0
+        assert quality.precision == pytest.approx(1 / 3)
+
+    def test_no_predicted_pairs(self):
+        truth = {"r1": "A", "r2": "B"}
+        quality = pairwise_quality([["r1"], ["r2"]], truth)
+        assert quality.precision == 1.0 and quality.recall == 1.0
+
+    def test_f1_zero_when_both_zero(self):
+        assert ResolutionQuality(precision=0.0, recall=0.0).f1 == 0.0
+
+    def test_missing_records_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            pairwise_quality([["r1"]], {"r1": "A", "r2": "A"})
+
+    def test_as_row(self):
+        quality = ResolutionQuality(precision=0.5, recall=1.0)
+        assert quality.as_row() == (0.5, 1.0, pytest.approx(2 / 3))
+
+
+class TestAlgorithms:
+    @pytest.fixture(scope="class")
+    def alpha_records(self):
+        dataset = generate_record_dataset(
+            [AmbiguousNameSpec("Gamma Person", 3, 20)], noise=0.08, rng=7
+        )
+        return dataset.by_name("Gamma Person"), dataset.ground_truth("Gamma Person")
+
+    def test_every_algorithm_covers_all_records(self, alpha_records):
+        records, _ = alpha_records
+        ids = {record.record_id for record in records}
+        for algorithm in (sim_der_algorithm, eif_algorithm, distinct_algorithm):
+            clusters = algorithm(records)
+            assert {r for cluster in clusters for r in cluster} == ids
+        clusters = sim_er_algorithm(records, num_walks=80, seed=1)
+        assert {r for cluster in clusters for r in cluster} == ids
+
+    def test_sim_er_beats_random_f1(self, alpha_records):
+        records, truth = alpha_records
+        clusters = sim_er_algorithm(records, num_walks=120, seed=1)
+        quality = pairwise_quality(clusters, truth)
+        assert quality.f1 > 0.4
+
+    def test_sim_er_beats_or_matches_sim_der(self, alpha_records):
+        records, truth = alpha_records
+        er_quality = pairwise_quality(sim_er_algorithm(records, num_walks=120, seed=1), truth)
+        der_quality = pairwise_quality(sim_der_algorithm(records), truth)
+        assert er_quality.f1 >= der_quality.f1 - 0.05
+
+    def test_eif_and_distinct_produce_sane_quality(self, alpha_records):
+        records, truth = alpha_records
+        for algorithm in (eif_algorithm, distinct_algorithm):
+            quality = pairwise_quality(algorithm(records), truth)
+            assert 0.0 <= quality.precision <= 1.0
+            assert 0.0 <= quality.recall <= 1.0
+
+    def test_duplicate_record_ids_rejected(self):
+        record = Record("same", "N", ("c",), "v", ("t",), "A")
+        with pytest.raises(InvalidParameterError):
+            sim_der_algorithm([record, record])
+
+    def test_distinct_invalid_weight(self, alpha_records):
+        records, _ = alpha_records
+        with pytest.raises(InvalidParameterError):
+            distinct_algorithm(records, feature_weight=1.5)

@@ -1,0 +1,215 @@
+"""Tests for the synthetic uncertain-graph generators and the dataset registry."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.datasets.registry import (
+    available_datasets,
+    dataset_spec,
+    dataset_summary_table,
+    load_dataset,
+)
+from repro.graph.generators import (
+    PPINetwork,
+    assign_uniform_probabilities,
+    co_authorship_graph,
+    erdos_renyi_uncertain,
+    planted_partition_ppi,
+    random_vertex_pairs,
+    related_vertex_pairs,
+    rmat_uncertain,
+)
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.errors import InvalidParameterError
+
+
+class TestErdosRenyi:
+    def test_shape(self):
+        graph = erdos_renyi_uncertain(30, 0.2, rng=1)
+        assert graph.num_vertices == 30
+        assert graph.num_arcs > 0
+        assert all(0 < p <= 1 for _, _, p in graph.arcs())
+
+    def test_no_self_loops(self):
+        graph = erdos_renyi_uncertain(20, 0.5, rng=2)
+        assert all(u != v for u, v, _ in graph.arcs())
+
+    def test_zero_probability_empty(self):
+        graph = erdos_renyi_uncertain(10, 0.0, rng=3)
+        assert graph.num_arcs == 0
+
+    def test_probability_range_respected(self):
+        graph = erdos_renyi_uncertain(25, 0.3, prob_low=0.5, prob_high=0.6, rng=4)
+        assert all(0.5 <= p <= 0.6 for _, _, p in graph.arcs())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi_uncertain(-1, 0.5)
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi_uncertain(10, 1.5)
+
+    def test_reproducible(self):
+        first = erdos_renyi_uncertain(15, 0.3, rng=7)
+        second = erdos_renyi_uncertain(15, 0.3, rng=7)
+        assert sorted(first.arcs()) == sorted(second.arcs())
+
+
+class TestRmat:
+    def test_edge_budget_respected(self):
+        graph = rmat_uncertain(64, 200, rng=1)
+        assert graph.num_vertices == 64
+        assert graph.num_arcs <= 200
+
+    def test_symmetric_mode(self):
+        graph = rmat_uncertain(64, 100, rng=2, symmetric=True)
+        for u, v, p in graph.arcs():
+            assert graph.has_arc(v, u)
+            assert graph.probability(v, u) == pytest.approx(p)
+
+    def test_probabilities_in_range(self):
+        graph = rmat_uncertain(32, 100, rng=3)
+        assert all(0 < p <= 1 for _, _, p in graph.arcs())
+
+    def test_invalid_partition_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            rmat_uncertain(16, 10, partition=(0.5, 0.5, 0.5, 0.5))
+
+    def test_invalid_sizes_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            rmat_uncertain(0, 10)
+        with pytest.raises(InvalidParameterError):
+            rmat_uncertain(10, -1)
+
+    def test_degree_skew(self):
+        """R-MAT should produce a skewed degree distribution (hubs exist)."""
+        graph = rmat_uncertain(128, 800, rng=5)
+        degrees = sorted((graph.out_degree(v) for v in graph.vertices()), reverse=True)
+        assert degrees[0] >= 3 * max(1, int(np.median(degrees)))
+
+
+class TestPlantedPPI:
+    def test_structure(self):
+        network = planted_partition_ppi(num_complexes=4, complex_size=5, num_background=10, rng=1)
+        assert isinstance(network, PPINetwork)
+        assert len(network.complexes) == 4
+        assert network.graph.num_vertices == 4 * 5 + 10
+
+    def test_share_complex(self):
+        network = planted_partition_ppi(num_complexes=2, complex_size=4, num_background=3, rng=2)
+        first = network.complexes[0]
+        second = network.complexes[1]
+        assert network.share_complex(first[0], first[1])
+        assert not network.share_complex(first[0], second[0])
+        # Background proteins belong to no complex.
+        background = [p for p in network.graph.vertices() if p not in network.complex_of()]
+        assert background
+        assert not network.share_complex(background[0], first[0])
+
+    def test_symmetric_arcs(self):
+        network = planted_partition_ppi(num_complexes=3, complex_size=4, num_background=5, rng=3)
+        for u, v, p in network.graph.arcs():
+            assert network.graph.has_arc(v, u)
+
+    def test_within_complex_probabilities_higher(self):
+        network = planted_partition_ppi(
+            num_complexes=6, complex_size=6, num_background=0,
+            p_within=0.9, p_between=0.05,
+            prob_within=(0.8, 0.95), prob_between=(0.1, 0.3), rng=4,
+        )
+        membership = network.complex_of()
+        within, between = [], []
+        for u, v, p in network.graph.arcs():
+            (within if membership[u] == membership[v] else between).append(p)
+        assert np.mean(within) > np.mean(between)
+
+    def test_negative_sizes_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            planted_partition_ppi(num_complexes=-1)
+
+
+class TestCoAuthorship:
+    def test_shape_and_symmetry(self):
+        graph = co_authorship_graph(60, average_degree=6.0, rng=1)
+        assert graph.num_vertices == 60
+        for u, v, p in graph.arcs():
+            assert graph.has_arc(v, u)
+
+    def test_probability_range(self):
+        graph = co_authorship_graph(40, average_degree=4.0, prob_low=0.2, prob_high=0.9, rng=2)
+        assert all(0.2 <= p <= 0.9 or p == pytest.approx(0.2) for _, _, p in graph.arcs())
+
+    def test_invalid_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            co_authorship_graph(0)
+        with pytest.raises(InvalidParameterError):
+            co_authorship_graph(10, average_degree=-1)
+
+
+class TestProbabilityAssignment:
+    def test_assign_uniform(self, paper_graph):
+        reassigned = assign_uniform_probabilities(paper_graph, 0.4, 0.6, rng=1)
+        assert reassigned.num_arcs == paper_graph.num_arcs
+        assert all(0.4 <= p <= 0.6 for _, _, p in reassigned.arcs())
+
+    def test_invalid_range(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            assign_uniform_probabilities(paper_graph, 0.9, 0.5)
+
+
+class TestPairSampling:
+    def test_random_pairs_distinct(self, paper_graph):
+        pairs = random_vertex_pairs(paper_graph, 20, rng=1)
+        assert len(pairs) == 20
+        assert all(u != v for u, v in pairs)
+
+    def test_random_pairs_negative_count(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            random_vertex_pairs(paper_graph, -1)
+
+    def test_random_pairs_tiny_graph_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            random_vertex_pairs(UncertainGraph(vertices=["a"]), 1)
+
+    def test_related_pairs_are_close(self, paper_graph):
+        pairs = related_vertex_pairs(paper_graph, 15, rng=2)
+        assert len(pairs) == 15
+        for u, v in pairs:
+            neighborhood = set(paper_graph.out_neighbors(u))
+            for w in list(neighborhood):
+                neighborhood.update(paper_graph.out_neighbors(w))
+            assert v in neighborhood
+
+    def test_related_pairs_negative_count(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            related_vertex_pairs(paper_graph, -1)
+
+
+class TestDatasetRegistry:
+    def test_available(self):
+        names = available_datasets()
+        assert {"ppi1", "ppi2", "ppi3", "net", "condmat", "dblp"} <= set(names)
+
+    def test_load_and_cache(self):
+        first = load_dataset("ppi1")
+        second = load_dataset("ppi1")
+        assert first is second
+        fresh = load_dataset("ppi1", use_cache=False)
+        assert fresh is not first
+        assert fresh.num_arcs == first.num_arcs
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidParameterError):
+            load_dataset("does-not-exist")
+
+    def test_spec_metadata(self):
+        spec = dataset_spec("net")
+        assert spec.paper_name == "Net"
+        assert spec.paper_vertices == 1588
+
+    def test_summary_table(self):
+        rows = dataset_summary_table()
+        assert len(rows) == len(available_datasets())
+        for _, _, _, _, vertices, arcs in rows:
+            assert vertices > 0 and arcs > 0

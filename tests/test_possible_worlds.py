@@ -1,0 +1,173 @@
+"""Tests for possible-world semantics, girth computation and graph I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graph.cycles import has_cycle, shortest_cycle_length
+from repro.graph.deterministic import DeterministicGraph
+from repro.graph.io import from_weighted_edges, read_edge_list, write_edge_list
+from repro.graph.possible_worlds import (
+    enumerate_possible_worlds,
+    sample_possible_world,
+    sample_possible_worlds,
+    world_probability,
+)
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.errors import GraphFormatError, InvalidParameterError
+from tests.conftest import small_random_uncertain_graph
+
+
+class TestEnumeration:
+    def test_number_of_worlds(self, chain_graph):
+        worlds = list(enumerate_possible_worlds(chain_graph))
+        assert len(worlds) == 2 ** chain_graph.num_arcs
+
+    def test_probabilities_sum_to_one(self, paper_graph):
+        total = sum(probability for _, probability in enumerate_possible_worlds(paper_graph))
+        assert total == pytest.approx(1.0)
+
+    def test_every_world_is_subgraph(self, chain_graph):
+        arcs = {(u, v) for u, v, _ in chain_graph.arcs()}
+        for world, _ in enumerate_possible_worlds(chain_graph):
+            assert set(world.arcs()) <= arcs
+            assert set(world.vertices()) == set(chain_graph.vertices())
+
+    def test_world_probability_matches_enumeration(self, chain_graph):
+        for world, probability in enumerate_possible_worlds(chain_graph):
+            assert world_probability(chain_graph, world) == pytest.approx(probability)
+
+    def test_too_many_arcs_rejected(self):
+        graph = small_random_uncertain_graph(8, 0.7, seed=0)
+        assert graph.num_arcs > 20
+        with pytest.raises(InvalidParameterError):
+            list(enumerate_possible_worlds(graph))
+
+    def test_world_probability_foreign_arc_is_zero(self, chain_graph):
+        world = DeterministicGraph(vertices=chain_graph.vertices())
+        world.add_arc("a", "d")  # not an arc of the uncertain graph
+        assert world_probability(chain_graph, world) == 0.0
+
+    def test_world_probability_wrong_vertices_is_zero(self, chain_graph):
+        world = DeterministicGraph(vertices=["a", "b"])
+        assert world_probability(chain_graph, world) == 0.0
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(0, 1000))
+    def test_probabilities_sum_to_one_random(self, seed):
+        graph = small_random_uncertain_graph(4, 0.4, seed=seed)
+        if graph.num_arcs > 12:
+            return
+        total = sum(probability for _, probability in enumerate_possible_worlds(graph))
+        assert total == pytest.approx(1.0)
+
+
+class TestSampling:
+    def test_sampled_world_is_subgraph(self, paper_graph, rng):
+        world = sample_possible_world(paper_graph, rng)
+        arcs = {(u, v) for u, v, _ in paper_graph.arcs()}
+        assert set(world.arcs()) <= arcs
+
+    def test_certain_arcs_always_present(self, certain_graph, rng):
+        world = sample_possible_world(certain_graph, rng)
+        assert world.num_arcs == certain_graph.num_arcs
+
+    def test_sample_many(self, paper_graph, rng):
+        worlds = sample_possible_worlds(paper_graph, 10, rng)
+        assert len(worlds) == 10
+
+    def test_sample_negative_count(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            sample_possible_worlds(paper_graph, -1)
+
+    def test_empirical_arc_frequency(self, rng):
+        graph = UncertainGraph()
+        graph.add_arc("u", "v", 0.3)
+        hits = sum(
+            sample_possible_world(graph, rng).has_arc("u", "v") for _ in range(3000)
+        )
+        assert hits / 3000 == pytest.approx(0.3, abs=0.05)
+
+
+class TestCycles:
+    def test_girth_of_triangle(self, triangle_graph):
+        assert shortest_cycle_length(triangle_graph) == 1  # the self-loop at "a"
+
+    def test_girth_without_self_loop(self):
+        graph = UncertainGraph()
+        graph.add_arc("a", "b", 0.5)
+        graph.add_arc("b", "c", 0.5)
+        graph.add_arc("c", "a", 0.5)
+        assert shortest_cycle_length(graph) == 3
+
+    def test_two_cycle(self):
+        graph = UncertainGraph()
+        graph.add_arc("a", "b", 0.5)
+        graph.add_arc("b", "a", 0.5)
+        graph.add_arc("b", "c", 0.5)
+        assert shortest_cycle_length(graph) == 2
+
+    def test_acyclic_graph_has_no_cycle(self, chain_graph):
+        assert shortest_cycle_length(chain_graph) is None
+        assert not has_cycle(chain_graph)
+
+    def test_deterministic_graph_supported(self):
+        graph = DeterministicGraph(arcs=[("a", "b"), ("b", "a")])
+        assert shortest_cycle_length(graph) == 2
+
+    def test_paper_graph_girth(self, paper_graph):
+        # v1 -> v3 -> v1 is the shortest cycle of the example graph.
+        assert shortest_cycle_length(paper_graph) == 2
+
+
+class TestIO:
+    def test_round_trip(self, paper_graph, tmp_path):
+        path = tmp_path / "graph.txt"
+        write_edge_list(paper_graph, path, header="example graph")
+        loaded = read_edge_list(path)
+        assert loaded.num_vertices == paper_graph.num_vertices
+        assert loaded.num_arcs == paper_graph.num_arcs
+        for u, v, probability in paper_graph.arcs():
+            assert loaded.probability(str(u), str(v)) == pytest.approx(probability)
+
+    def test_round_trip_preserves_isolated_vertices(self, tmp_path):
+        graph = UncertainGraph(vertices=["solo"])
+        graph.add_arc("a", "b", 0.5)
+        path = tmp_path / "graph.txt"
+        write_edge_list(graph, path)
+        loaded = read_edge_list(path)
+        assert loaded.has_vertex("solo")
+
+    def test_malformed_line_rejected(self, tmp_path):
+        path = tmp_path / "broken.txt"
+        path.write_text("a b\n", encoding="utf-8")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_non_numeric_probability_rejected(self, tmp_path):
+        path = tmp_path / "broken.txt"
+        path.write_text("a b high\n", encoding="utf-8")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_out_of_range_probability_rejected(self, tmp_path):
+        path = tmp_path / "broken.txt"
+        path.write_text("a b 1.5\n", encoding="utf-8")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_comments_and_blank_lines_ignored(self, tmp_path):
+        path = tmp_path / "graph.txt"
+        path.write_text("# comment\n\na b 0.5\n", encoding="utf-8")
+        graph = read_edge_list(path)
+        assert graph.num_arcs == 1
+
+    def test_from_weighted_edges(self):
+        graph = from_weighted_edges([("a", "b", 0.25), ("b", "c", 1.0)])
+        assert graph.num_arcs == 2
+
+    def test_from_weighted_edges_malformed(self):
+        with pytest.raises(GraphFormatError):
+            from_weighted_edges([("a", "b")])

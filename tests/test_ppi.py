@@ -1,0 +1,95 @@
+"""Tests for the similar-protein case-study substrate."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import planted_partition_ppi
+from repro.ppi.similar_proteins import (
+    ProteinPairResult,
+    complex_agreement,
+    top_similar_protein_pairs,
+    top_similar_proteins_to,
+)
+from repro.utils.errors import InvalidParameterError
+
+
+@pytest.fixture(scope="module")
+def network():
+    return planted_partition_ppi(
+        num_complexes=5,
+        complex_size=5,
+        num_background=10,
+        p_within=0.8,
+        p_between=0.02,
+        rng=11,
+    )
+
+
+class TestTopPairs:
+    def test_returns_k_results_sorted(self, network):
+        results = top_similar_protein_pairs(network, k=8, measure="usim", num_walks=120, seed=1)
+        assert len(results) == 8
+        scores = [result.score for result in results]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_dsim_measure_runs(self, network):
+        results = top_similar_protein_pairs(network, k=5, measure="dsim")
+        assert len(results) == 5
+        assert all(isinstance(result, ProteinPairResult) for result in results)
+
+    def test_usim_ranking_respects_complexes(self, network):
+        """Most of the top USIM pairs should come from a planted complex."""
+        results = top_similar_protein_pairs(network, k=10, measure="usim", num_walks=150, seed=2)
+        assert complex_agreement(results) >= 0.6
+
+    def test_usim_beats_dsim_on_complex_agreement(self, network):
+        """The paper's headline case-study claim (Fig. 13)."""
+        usim = top_similar_protein_pairs(network, k=10, measure="usim", num_walks=150, seed=3)
+        dsim = top_similar_protein_pairs(network, k=10, measure="dsim")
+        assert complex_agreement(usim) >= complex_agreement(dsim)
+
+    def test_invalid_measure(self, network):
+        with pytest.raises(InvalidParameterError):
+            top_similar_protein_pairs(network, k=3, measure="other")
+
+    def test_invalid_k(self, network):
+        with pytest.raises(InvalidParameterError):
+            top_similar_protein_pairs(network, k=0)
+
+    def test_explicit_candidate_pairs(self, network):
+        proteins = network.complexes[0][:3]
+        candidates = [(proteins[0], proteins[1]), (proteins[0], proteins[2])]
+        results = top_similar_protein_pairs(
+            network, k=2, measure="usim", num_walks=80, candidate_pairs=candidates, seed=4
+        )
+        assert {(r.protein_a, r.protein_b) for r in results} <= set(candidates)
+
+    def test_complex_agreement_requires_results(self):
+        with pytest.raises(InvalidParameterError):
+            complex_agreement([])
+
+
+class TestTopSimilarTo:
+    def test_returns_sorted_neighbours(self, network):
+        query = network.complexes[0][0]
+        results = top_similar_proteins_to(network, query, k=4, measure="usim", num_walks=120, seed=5)
+        assert len(results) <= 4
+        scores = [score for _, score in results]
+        assert scores == sorted(scores, reverse=True)
+        assert all(protein != query for protein, _ in results)
+
+    def test_dsim_variant(self, network):
+        query = network.complexes[1][0]
+        results = top_similar_proteins_to(network, query, k=3, measure="dsim")
+        assert len(results) <= 3
+
+    def test_top_similar_proteins_mostly_same_complex(self, network):
+        query = network.complexes[2][0]
+        results = top_similar_proteins_to(network, query, k=3, measure="usim", num_walks=150, seed=6)
+        same = sum(network.share_complex(query, protein) for protein, _ in results)
+        assert same >= 2
+
+    def test_unknown_query_rejected(self, network):
+        with pytest.raises(InvalidParameterError):
+            top_similar_proteins_to(network, "not-a-protein", k=3)

@@ -1,0 +1,183 @@
+"""Tests for the SimRank definition (Definition 1) and its theorems."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.baseline import baseline_meeting_probabilities, baseline_simrank
+from repro.core.simrank import (
+    SimRankResult,
+    approximation_error_bound,
+    meeting_probabilities_from_distributions,
+    meeting_probability,
+    sampling_error_bound,
+    simrank_from_meeting_probabilities,
+    two_phase_error_bound,
+    validate_decay,
+    validate_iterations,
+)
+from repro.baselines.simrank_deterministic import deterministic_simrank_pair
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.errors import InvalidParameterError
+from tests.conftest import small_random_uncertain_graph
+
+
+class TestValidation:
+    def test_decay_bounds(self):
+        assert validate_decay(0.6) == 0.6
+        for bad in (0.0, 1.0, -0.1, 1.5):
+            with pytest.raises(InvalidParameterError):
+                validate_decay(bad)
+
+    def test_iterations_bounds(self):
+        assert validate_iterations(1) == 1
+        with pytest.raises(InvalidParameterError):
+            validate_iterations(0)
+
+
+class TestMeetingProbability:
+    def test_disjoint_supports(self):
+        assert meeting_probability({"a": 0.5}, {"b": 0.5}) == 0.0
+
+    def test_overlapping_supports(self):
+        value = meeting_probability({"a": 0.5, "b": 0.5}, {"a": 0.2, "c": 0.8})
+        assert value == pytest.approx(0.1)
+
+    def test_symmetry(self):
+        left = {"a": 0.3, "b": 0.7}
+        right = {"a": 0.6, "b": 0.1, "c": 0.3}
+        assert meeting_probability(left, right) == pytest.approx(
+            meeting_probability(right, left)
+        )
+
+    def test_sequence_helper(self):
+        meetings = meeting_probabilities_from_distributions(
+            [{"u": 1.0}, {"a": 0.5}], [{"u": 1.0}, {"a": 0.5}]
+        )
+        assert meetings == pytest.approx([1.0, 0.25])
+
+    def test_sequence_length_mismatch(self):
+        with pytest.raises(InvalidParameterError):
+            meeting_probabilities_from_distributions([{}], [{}, {}])
+
+    @given(
+        st.dictionaries(st.integers(0, 5), st.floats(0, 0.2), max_size=6),
+        st.dictionaries(st.integers(0, 5), st.floats(0, 0.2), max_size=6),
+    )
+    def test_bounded_by_one(self, left, right):
+        assert 0.0 <= meeting_probability(left, right) <= 1.0 + 1e-9
+
+
+class TestCombination:
+    def test_matches_manual_expansion(self):
+        meeting = [1.0, 0.2, 0.05, 0.01]
+        decay = 0.6
+        expected = (
+            (1 - decay) * (1.0 + decay * 0.2 + decay**2 * 0.05) + decay**3 * 0.01
+        )
+        assert simrank_from_meeting_probabilities(meeting, decay) == pytest.approx(expected)
+
+    def test_requires_two_entries(self):
+        with pytest.raises(InvalidParameterError):
+            simrank_from_meeting_probabilities([1.0], 0.6)
+
+    @given(
+        st.lists(st.floats(0.0, 1.0), min_size=2, max_size=10),
+        st.floats(0.05, 0.95),
+    )
+    def test_score_in_unit_interval(self, meeting, decay):
+        score = simrank_from_meeting_probabilities(meeting, decay)
+        assert -1e-9 <= score <= 1.0 + 1e-9
+
+    @given(st.floats(0.05, 0.95), st.integers(1, 8))
+    def test_all_ones_meetings_give_score_one(self, decay, iterations):
+        meeting = [1.0] * (iterations + 1)
+        assert simrank_from_meeting_probabilities(meeting, decay) == pytest.approx(1.0)
+
+
+class TestErrorBounds:
+    def test_theorem_two_decreases_exponentially(self):
+        bounds = [approximation_error_bound(0.6, n) for n in range(1, 8)]
+        assert all(b2 < b1 for b1, b2 in zip(bounds, bounds[1:]))
+        assert bounds[4] == pytest.approx(0.6**6)
+
+    def test_theorem_four(self):
+        assert sampling_error_bound(0.1, 0.6, 5) == pytest.approx(0.1 * (0.6 - 0.6**5))
+
+    def test_corollary_one_improves_with_prefix(self):
+        loose = two_phase_error_bound(0.1, 0.6, 5, exact_prefix=0)
+        tight = two_phase_error_bound(0.1, 0.6, 5, exact_prefix=3)
+        assert tight < loose
+
+    def test_corollary_one_invalid_prefix(self):
+        with pytest.raises(InvalidParameterError):
+            two_phase_error_bound(0.1, 0.6, 5, exact_prefix=6)
+
+    def test_invalid_epsilon(self):
+        with pytest.raises(InvalidParameterError):
+            sampling_error_bound(0.0, 0.6, 5)
+        with pytest.raises(InvalidParameterError):
+            two_phase_error_bound(-0.1, 0.6, 5, 1)
+
+
+class TestSimRankResult:
+    def test_float_conversion_and_bound(self, paper_graph):
+        result = baseline_simrank(paper_graph, "v1", "v2", decay=0.6, iterations=3)
+        assert float(result) == result.score
+        assert result.truncation_error_bound == pytest.approx(0.6**4)
+        assert result.method == "baseline"
+
+
+class TestTheorems:
+    def test_theorem_two_truncation_error(self, paper_graph):
+        """|s(n) - s(m)| <= c^(n+1) for m > n (consequence of Theorem 2)."""
+        decay = 0.6
+        meeting = baseline_meeting_probabilities(paper_graph, "v1", "v2", 8)
+        scores = [
+            simrank_from_meeting_probabilities(meeting[: n + 1], decay) for n in range(1, 9)
+        ]
+        for n_index, score in enumerate(scores[:-1], start=1):
+            for later in scores[n_index:]:
+                assert abs(score - later) <= decay ** (n_index + 1) + 1e-12
+
+    def test_theorem_three_degeneration(self, certain_graph):
+        """With all probabilities 1 the uncertain SimRank equals deterministic SimRank."""
+        for u, v in [("a", "b"), ("a", "c"), ("b", "d"), ("a", "a")]:
+            uncertain = baseline_simrank(certain_graph, u, v, decay=0.6, iterations=5).score
+            deterministic = deterministic_simrank_pair(
+                certain_graph.to_deterministic(), u, v, decay=0.6, iterations=5
+            )
+            assert uncertain == pytest.approx(deterministic, abs=1e-10)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_theorem_three_on_random_graphs(self, seed):
+        base = small_random_uncertain_graph(5, 0.4, seed=seed)
+        if base.num_arcs == 0:
+            return
+        certain = UncertainGraph(vertices=base.vertices())
+        for u, v, _ in base.arcs():
+            certain.add_arc(u, v, 1.0)
+        vertices = certain.vertices()
+        u, v = vertices[0], vertices[-1]
+        uncertain = baseline_simrank(certain, u, v, decay=0.5, iterations=4).score
+        deterministic = deterministic_simrank_pair(
+            certain.to_deterministic(), u, v, decay=0.5, iterations=4
+        )
+        assert uncertain == pytest.approx(deterministic, abs=1e-9)
+
+    def test_symmetry(self, paper_graph):
+        forward = baseline_simrank(paper_graph, "v1", "v2", iterations=4).score
+        backward = baseline_simrank(paper_graph, "v2", "v1", iterations=4).score
+        assert forward == pytest.approx(backward)
+
+    def test_meeting_probabilities_bounded(self, paper_graph):
+        meeting = baseline_meeting_probabilities(paper_graph, "v2", "v4", 5)
+        assert all(0.0 <= m <= 1.0 for m in meeting)
+        assert meeting[0] == 0.0  # distinct vertices never "meet" at step 0
+
+    def test_self_similarity_meeting_starts_at_one(self, paper_graph):
+        meeting = baseline_meeting_probabilities(paper_graph, "v3", "v3", 3)
+        assert meeting[0] == 1.0

@@ -1,0 +1,217 @@
+"""Tests for the uncertain- and deterministic-graph substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.deterministic import DeterministicGraph
+from repro.graph.uncertain_graph import UncertainGraph, example_graph
+from repro.utils.errors import InvalidParameterError
+
+
+class TestUncertainGraphBasics:
+    def test_add_and_query_arcs(self):
+        graph = UncertainGraph()
+        graph.add_arc("u", "v", 0.5)
+        assert graph.has_arc("u", "v")
+        assert not graph.has_arc("v", "u")
+        assert graph.probability("u", "v") == 0.5
+        assert graph.num_vertices == 2
+        assert graph.num_arcs == 1
+
+    def test_invalid_probability_rejected(self):
+        graph = UncertainGraph()
+        with pytest.raises(InvalidParameterError):
+            graph.add_arc("u", "v", 0.0)
+        with pytest.raises(InvalidParameterError):
+            graph.add_arc("u", "v", 1.5)
+
+    def test_probability_one_allowed(self):
+        graph = UncertainGraph()
+        graph.add_arc("u", "v", 1.0)
+        assert graph.probability("u", "v") == 1.0
+
+    def test_readding_arc_overwrites_probability(self):
+        graph = UncertainGraph()
+        graph.add_arc("u", "v", 0.3)
+        graph.add_arc("u", "v", 0.9)
+        assert graph.probability("u", "v") == 0.9
+        assert graph.num_arcs == 1
+
+    def test_isolated_vertex_preserved(self):
+        graph = UncertainGraph(vertices=["lonely"])
+        assert graph.has_vertex("lonely")
+        assert graph.out_degree("lonely") == 0
+
+    def test_neighbors_and_degrees(self, paper_graph):
+        assert set(paper_graph.out_neighbors("v3")) == {"v1", "v4"}
+        assert set(paper_graph.in_neighbors("v3")) == {"v1", "v2", "v5"}
+        assert paper_graph.out_degree("v3") == 2
+        assert paper_graph.in_degree("v3") == 3
+
+    def test_expected_out_degree(self):
+        graph = UncertainGraph()
+        graph.add_arc("u", "a", 0.5)
+        graph.add_arc("u", "b", 0.25)
+        assert graph.expected_out_degree("u") == pytest.approx(0.75)
+
+    def test_average_degree(self, paper_graph):
+        assert paper_graph.average_degree() == pytest.approx(8 / 5)
+
+    def test_average_degree_empty_graph(self):
+        assert UncertainGraph().average_degree() == 0.0
+
+    def test_remove_arc(self):
+        graph = UncertainGraph()
+        graph.add_arc("u", "v", 0.5)
+        graph.remove_arc("u", "v")
+        assert not graph.has_arc("u", "v")
+        with pytest.raises(KeyError):
+            graph.remove_arc("u", "v")
+
+    def test_self_loop_allowed(self):
+        graph = UncertainGraph()
+        graph.add_arc("u", "u", 0.4)
+        assert graph.has_arc("u", "u")
+
+    def test_undirected_edge_adds_both_directions(self):
+        graph = UncertainGraph()
+        graph.add_undirected_edge("a", "b", 0.7)
+        assert graph.has_arc("a", "b") and graph.has_arc("b", "a")
+        graph.add_undirected_edge("c", "c", 0.5)
+        assert graph.num_arcs == 3  # the self-loop is added only once
+
+    def test_contains_and_repr(self, paper_graph):
+        assert "v1" in paper_graph
+        assert "missing" not in paper_graph
+        assert "|V|=5" in repr(paper_graph)
+
+    def test_out_arcs_returns_copy(self, paper_graph):
+        arcs = paper_graph.out_arcs("v3")
+        arcs["v999"] = 1.0
+        assert not paper_graph.has_arc("v3", "v999")
+
+
+class TestUncertainGraphViews:
+    def test_probability_matrix(self, paper_graph):
+        order = paper_graph.vertices()
+        matrix = paper_graph.probability_matrix(order)
+        index = paper_graph.vertex_index(order)
+        assert matrix[index["v1"], index["v3"]] == pytest.approx(0.8)
+        assert matrix[index["v3"], index["v1"]] == pytest.approx(0.5)
+        assert matrix.shape == (5, 5)
+
+    def test_vertex_index_custom_order(self, paper_graph):
+        order = ["v5", "v4", "v3", "v2", "v1"]
+        index = paper_graph.vertex_index(order)
+        assert index["v5"] == 0 and index["v1"] == 4
+
+    def test_to_deterministic_keeps_all_arcs(self, paper_graph):
+        deterministic = paper_graph.to_deterministic()
+        assert deterministic.num_arcs == paper_graph.num_arcs
+        assert deterministic.has_arc("v1", "v3")
+
+    def test_to_deterministic_threshold(self, paper_graph):
+        deterministic = paper_graph.to_deterministic(threshold=0.75)
+        assert deterministic.has_arc("v1", "v3")       # 0.8 > 0.75
+        assert not deterministic.has_arc("v3", "v1")   # 0.5 <= 0.75
+
+    def test_from_deterministic_round_trip(self, paper_graph):
+        deterministic = paper_graph.to_deterministic()
+        back = UncertainGraph.from_deterministic(deterministic, probability=1.0)
+        assert back.num_arcs == paper_graph.num_arcs
+        assert all(probability == 1.0 for _, _, probability in back.arcs())
+
+    def test_networkx_round_trip(self, paper_graph):
+        nx_graph = paper_graph.to_networkx()
+        back = UncertainGraph.from_networkx(nx_graph)
+        assert back.num_vertices == paper_graph.num_vertices
+        assert back.num_arcs == paper_graph.num_arcs
+        assert back.probability("v1", "v3") == pytest.approx(0.8)
+
+    def test_from_networkx_undirected(self):
+        import networkx as nx
+
+        graph = nx.Graph()
+        graph.add_edge("a", "b", probability=0.4)
+        uncertain = UncertainGraph.from_networkx(graph)
+        assert uncertain.has_arc("a", "b") and uncertain.has_arc("b", "a")
+
+    def test_copy_is_independent(self, paper_graph):
+        clone = paper_graph.copy()
+        clone.add_arc("v1", "v5", 0.2)
+        assert not paper_graph.has_arc("v1", "v5")
+
+    def test_reversed(self, paper_graph):
+        reversed_graph = paper_graph.reversed()
+        assert reversed_graph.has_arc("v3", "v1")
+        assert reversed_graph.probability("v3", "v1") == pytest.approx(0.8)
+        assert reversed_graph.num_arcs == paper_graph.num_arcs
+
+    def test_subgraph(self, paper_graph):
+        sub = paper_graph.subgraph(["v1", "v2", "v3"])
+        assert sub.num_vertices == 3
+        assert sub.has_arc("v1", "v3")
+        assert not sub.has_arc("v3", "v4")
+
+    def test_example_graph_matches_table_one_structure(self):
+        graph = example_graph()
+        assert set(graph.out_neighbors("v1")) == {"v3"}
+        assert set(graph.out_neighbors("v2")) == {"v1", "v3"}
+        assert set(graph.out_neighbors("v3")) == {"v1", "v4"}
+        assert set(graph.out_neighbors("v4")) == {"v2", "v5"}
+
+
+class TestDeterministicGraph:
+    def test_add_and_query(self):
+        graph = DeterministicGraph(arcs=[("a", "b"), ("b", "c")])
+        assert graph.has_arc("a", "b")
+        assert graph.num_vertices == 3
+        assert graph.num_arcs == 2
+        assert graph.out_degree("a") == 1
+        assert graph.in_degree("b") == 1
+
+    def test_remove_arc(self):
+        graph = DeterministicGraph(arcs=[("a", "b")])
+        graph.remove_arc("a", "b")
+        assert graph.num_arcs == 0
+
+    def test_transition_matrix_rows_normalised(self):
+        graph = DeterministicGraph(arcs=[("a", "b"), ("a", "c"), ("b", "c")])
+        matrix = graph.transition_matrix(order=["a", "b", "c"])
+        assert matrix[0].sum() == pytest.approx(1.0)
+        assert matrix[0, 1] == pytest.approx(0.5)
+        # "c" is a dead end: its row is all zeros.
+        assert matrix[2].sum() == pytest.approx(0.0)
+
+    def test_column_normalized_adjacency(self):
+        graph = DeterministicGraph(arcs=[("a", "c"), ("b", "c")])
+        matrix = graph.column_normalized_adjacency(order=["a", "b", "c"])
+        assert matrix[:, 2].sum() == pytest.approx(1.0)
+        assert matrix[0, 2] == pytest.approx(0.5)
+
+    def test_networkx_round_trip(self):
+        graph = DeterministicGraph(arcs=[("a", "b"), ("b", "a")])
+        back = DeterministicGraph.from_networkx(graph.to_networkx())
+        assert back.has_arc("a", "b") and back.has_arc("b", "a")
+
+    def test_from_networkx_undirected(self):
+        import networkx as nx
+
+        nx_graph = nx.Graph([("a", "b")])
+        graph = DeterministicGraph.from_networkx(nx_graph)
+        assert graph.has_arc("a", "b") and graph.has_arc("b", "a")
+
+    def test_copy_and_contains(self):
+        graph = DeterministicGraph(arcs=[("a", "b")])
+        clone = graph.copy()
+        clone.add_arc("b", "c")
+        assert not graph.has_arc("b", "c")
+        assert "a" in graph
+        assert "|V|=2" in repr(graph)
+
+    def test_isolated_vertices_preserved(self):
+        graph = DeterministicGraph(vertices=["x"], arcs=[("a", "b")])
+        assert graph.has_vertex("x")
+        assert graph.num_vertices == 3

@@ -1,0 +1,170 @@
+"""Tests for repro.utils.rng, repro.utils.stats, repro.utils.timer and errors."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.utils.errors import GraphFormatError, InvalidParameterError, ReproError
+from repro.utils.rng import ensure_rng, spawn_rngs
+from repro.utils.stats import (
+    BiasSummary,
+    mean_and_max,
+    normalize_to_unit_interval,
+    relative_error,
+    relative_errors,
+    summarize_bias,
+)
+from repro.utils.timer import Timer, time_call, timed
+
+
+class TestRng:
+    def test_ensure_rng_from_int_is_deterministic(self):
+        assert ensure_rng(7).random() == ensure_rng(7).random()
+
+    def test_ensure_rng_passthrough(self):
+        generator = np.random.default_rng(0)
+        assert ensure_rng(generator) is generator
+
+    def test_ensure_rng_none(self):
+        assert isinstance(ensure_rng(None), np.random.Generator)
+
+    def test_spawn_rngs_count(self):
+        children = spawn_rngs(3, 5)
+        assert len(children) == 5
+        values = {child.random() for child in children}
+        assert len(values) == 5  # children differ
+
+    def test_spawn_rngs_from_generator(self):
+        children = spawn_rngs(np.random.default_rng(1), 3)
+        assert len(children) == 3
+
+    def test_spawn_rngs_negative(self):
+        with pytest.raises(ValueError):
+            spawn_rngs(1, -1)
+
+    def test_spawn_rngs_deterministic(self):
+        first = [g.random() for g in spawn_rngs(11, 4)]
+        second = [g.random() for g in spawn_rngs(11, 4)]
+        assert first == second
+
+
+class TestRelativeError:
+    def test_exact_match(self):
+        assert relative_error(0.5, 0.5) == 0.0
+
+    def test_simple_case(self):
+        assert relative_error(1.1, 1.0) == pytest.approx(0.1)
+
+    def test_zero_reference_falls_back_to_absolute(self):
+        assert relative_error(0.02, 0.0) == pytest.approx(0.02)
+
+    def test_vectorised(self):
+        errors = relative_errors([1.1, 2.0], [1.0, 4.0])
+        assert errors == pytest.approx([0.1, 0.5])
+
+    def test_vectorised_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            relative_errors([1.0], [1.0, 2.0])
+
+    @given(st.floats(0.001, 100), st.floats(0.001, 100))
+    def test_non_negative(self, estimate, reference):
+        assert relative_error(estimate, reference) >= 0.0
+
+
+class TestMeanAndMax:
+    def test_values(self):
+        assert mean_and_max([1.0, 2.0, 3.0]) == (2.0, 3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            mean_and_max([])
+
+
+class TestBias:
+    def test_summary(self):
+        summary = summarize_bias([0.0, 0.5, 1.0], [0.1, 0.5, 0.7])
+        assert summary.average == pytest.approx((0.1 + 0.0 + 0.3) / 3)
+        assert summary.maximum == pytest.approx(0.3)
+        assert summary.minimum == pytest.approx(0.0)
+        assert summary.as_row() == (summary.average, summary.maximum, summary.minimum)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            summarize_bias([1.0], [1.0, 2.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_bias([], [])
+
+    @given(st.lists(st.floats(0, 1), min_size=1, max_size=50))
+    def test_bias_against_self_is_zero(self, values):
+        summary = summarize_bias(values, values)
+        assert summary.average == 0.0
+        assert summary.maximum == 0.0
+
+
+class TestNormalize:
+    def test_unit_interval(self):
+        normalized = normalize_to_unit_interval([2.0, 4.0, 6.0])
+        assert normalized == pytest.approx([0.0, 0.5, 1.0])
+
+    def test_constant_series(self):
+        assert normalize_to_unit_interval([3.0, 3.0]) == pytest.approx([0.0, 0.0])
+
+    def test_empty(self):
+        assert normalize_to_unit_interval([]).size == 0
+
+    @given(st.lists(st.floats(-100, 100), min_size=2, max_size=40))
+    def test_range(self, values):
+        normalized = normalize_to_unit_interval(values)
+        assert normalized.min() >= 0.0
+        assert normalized.max() <= 1.0 + 1e-12
+
+
+class TestTimer:
+    def test_context_manager_accumulates(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.005
+        assert len(timer.intervals) == 1
+        assert timer.mean_interval == pytest.approx(timer.elapsed)
+
+    def test_double_start_raises(self):
+        timer = Timer()
+        timer.start()
+        with pytest.raises(RuntimeError):
+            timer.start()
+        timer.stop()
+
+    def test_stop_without_start_raises(self):
+        with pytest.raises(RuntimeError):
+            Timer().stop()
+
+    def test_mean_interval_empty(self):
+        assert Timer().mean_interval == 0.0
+
+    def test_timed_helper(self):
+        with timed() as timer:
+            time.sleep(0.005)
+        assert timer.elapsed > 0.0
+
+    def test_time_call(self):
+        result, elapsed = time_call(sum, [1, 2, 3])
+        assert result == 6
+        assert elapsed >= 0.0
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        assert issubclass(InvalidParameterError, ReproError)
+        assert issubclass(InvalidParameterError, ValueError)
+        assert issubclass(GraphFormatError, ReproError)
+
+    def test_catchable_as_repro_error(self):
+        with pytest.raises(ReproError):
+            raise InvalidParameterError("bad parameter")

@@ -1,0 +1,226 @@
+"""Tests for walk probabilities (WalkPr) against a brute-force possible-world oracle."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.walks import (
+    AlphaCache,
+    WalkStatistics,
+    alpha,
+    is_walk,
+    presence_count_distribution,
+    walk_probability,
+)
+from repro.graph.possible_worlds import enumerate_possible_worlds
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.errors import InvalidParameterError
+from tests.conftest import small_random_uncertain_graph
+
+
+def oracle_walk_probability(graph: UncertainGraph, walk) -> float:
+    """Brute force: expectation of the walk probability over all possible worlds."""
+    total = 0.0
+    for world, probability in enumerate_possible_worlds(graph):
+        term = 1.0
+        for i in range(len(walk) - 1):
+            if not world.has_arc(walk[i], walk[i + 1]):
+                term = 0.0
+                break
+            term *= 1.0 / world.out_degree(walk[i])
+        total += probability * term
+    return total
+
+
+class TestPresenceCountDistribution:
+    def test_empty(self):
+        assert presence_count_distribution([]) == pytest.approx([1.0])
+
+    def test_single_arc(self):
+        assert presence_count_distribution([0.3]) == pytest.approx([0.7, 0.3])
+
+    def test_two_arcs(self):
+        dist = presence_count_distribution([0.5, 0.4])
+        assert dist == pytest.approx([0.3, 0.5, 0.2])
+
+    def test_matches_binomial_for_equal_probabilities(self):
+        from scipy.stats import binom
+
+        p, n = 0.35, 6
+        dist = presence_count_distribution([p] * n)
+        expected = [binom.pmf(k, n, p) for k in range(n + 1)]
+        assert dist == pytest.approx(expected)
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            presence_count_distribution([1.5])
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(st.floats(0.0, 1.0), max_size=12))
+    def test_sums_to_one(self, probabilities):
+        dist = presence_count_distribution(probabilities)
+        assert dist.sum() == pytest.approx(1.0)
+        assert (dist >= -1e-12).all()
+
+
+class TestAlpha:
+    def test_no_outgoing_steps_is_one(self, paper_graph):
+        assert alpha(paper_graph, "v5", frozenset(), 0) == 1.0
+
+    def test_single_arc_vertex(self, paper_graph):
+        # v1 has a single out-arc (v1, v3) with probability 0.8; using it once
+        # the factor is simply that probability.
+        assert alpha(paper_graph, "v1", frozenset(["v3"]), 1) == pytest.approx(0.8)
+
+    def test_single_arc_vertex_used_twice(self, paper_graph):
+        # Reusing the only out-arc still needs the arc only once.
+        assert alpha(paper_graph, "v1", frozenset(["v3"]), 2) == pytest.approx(0.8)
+
+    def test_two_arc_vertex(self, paper_graph):
+        # v3 has arcs to v1 (0.5) and v4 (0.6).  Using the arc to v4 once:
+        # P(v3,v4) * [P(v3,v1)/2 + (1 - P(v3,v1))] = 0.6 * (0.25 + 0.5) = 0.45
+        assert alpha(paper_graph, "v3", frozenset(["v4"]), 1) == pytest.approx(0.45)
+
+    def test_count_smaller_than_used_rejected(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            alpha(paper_graph, "v3", frozenset(["v1", "v4"]), 1)
+
+    def test_missing_arc_rejected(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            alpha(paper_graph, "v1", frozenset(["v5"]), 1)
+
+    def test_cache_consistency(self, paper_graph):
+        cache = AlphaCache(paper_graph)
+        direct = alpha(paper_graph, "v3", frozenset(["v4"]), 2)
+        assert cache.value("v3", frozenset(["v4"]), 2) == pytest.approx(direct)
+        assert cache.value("v3", frozenset(["v4"]), 2) == pytest.approx(direct)
+        assert len(cache) == 1
+
+
+class TestWalkStatistics:
+    def test_from_walk(self):
+        stats = WalkStatistics.from_walk(["a", "b", "a", "b"])
+        used_a, count_a = stats.of("a")
+        used_b, count_b = stats.of("b")
+        assert used_a == frozenset(["b"]) and count_a == 2
+        assert used_b == frozenset(["a"]) and count_b == 1
+
+    def test_extended_is_persistent(self):
+        base = WalkStatistics()
+        extended = base.extended("a", "b")
+        assert base.of("a") == (frozenset(), 0)
+        assert extended.of("a") == (frozenset(["b"]), 1)
+
+    def test_unvisited_vertex(self):
+        assert WalkStatistics().of("zzz") == (frozenset(), 0)
+
+
+class TestWalkProbability:
+    def test_single_vertex_walk(self, paper_graph):
+        assert walk_probability(paper_graph, ["v1"]) == 1.0
+
+    def test_non_walk_is_zero(self, paper_graph):
+        assert walk_probability(paper_graph, ["v1", "v5"]) == 0.0
+
+    def test_unknown_vertex_rejected(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            walk_probability(paper_graph, ["v1", "nope"])
+
+    def test_empty_walk_rejected(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            walk_probability(paper_graph, [])
+
+    def test_is_walk(self, paper_graph):
+        assert is_walk(paper_graph, ["v1", "v3", "v4"])
+        assert not is_walk(paper_graph, ["v1", "v4"])
+        assert not is_walk(paper_graph, [])
+        assert not is_walk(paper_graph, ["v1", "zzz"])
+
+    def test_matches_oracle_on_paper_graph(self, paper_graph):
+        walks = [
+            ["v1", "v3"],
+            ["v1", "v3", "v4"],
+            ["v1", "v3", "v1"],
+            ["v1", "v3", "v1", "v3"],
+            ["v2", "v3", "v4", "v2"],
+            ["v1", "v3", "v1", "v3", "v4", "v2", "v3", "v4", "v2"],
+        ]
+        for walk in walks:
+            assert walk_probability(paper_graph, walk) == pytest.approx(
+                oracle_walk_probability(paper_graph, walk), abs=1e-12
+            )
+
+    def test_matches_oracle_on_triangle(self, triangle_graph):
+        walks = [
+            ["a", "a"],
+            ["a", "a", "a"],
+            ["a", "b", "a", "b"],
+            ["a", "b", "c", "a", "b"],
+            ["b", "a", "a", "b"],
+        ]
+        for walk in walks:
+            assert walk_probability(triangle_graph, walk) == pytest.approx(
+                oracle_walk_probability(triangle_graph, walk), abs=1e-12
+            )
+
+    def test_revisit_correlation_not_product_of_steps(self, triangle_graph):
+        """The paper's key point: walk probabilities do not factor into one-step
+        transition probabilities when the walk revisits a vertex."""
+        from repro.core.transition import expected_one_step_matrix
+
+        order = triangle_graph.vertices()
+        index = {v: i for i, v in enumerate(order)}
+        one_step = expected_one_step_matrix(triangle_graph, order)
+        walk = ["a", "b", "a", "b"]
+        naive = (
+            one_step[index["a"], index["b"]]
+            * one_step[index["b"], index["a"]]
+            * one_step[index["a"], index["b"]]
+        )
+        exact = walk_probability(triangle_graph, walk)
+        assert abs(exact - naive) > 1e-6
+
+    def test_probability_one_graph_matches_deterministic(self, certain_graph):
+        """With all probabilities 1 the walk probability is the plain product
+        of reciprocal out-degrees (Theorem 3 degenerate behaviour)."""
+        walk = ["a", "b", "c", "a", "c", "d"]
+        expected = 1.0
+        for i in range(len(walk) - 1):
+            expected *= 1.0 / certain_graph.out_degree(walk[i])
+        assert walk_probability(certain_graph, walk) == pytest.approx(expected)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000), st.integers(2, 5))
+    def test_matches_oracle_on_random_graphs(self, seed, length):
+        graph = small_random_uncertain_graph(4, 0.5, seed=seed)
+        if graph.num_arcs == 0 or graph.num_arcs > 12:
+            return
+        generator = np.random.default_rng(seed)
+        # Build a random walk of the requested length (if one exists).
+        walk = [graph.vertices()[int(generator.integers(graph.num_vertices))]]
+        for _ in range(length):
+            neighbors = graph.out_neighbors(walk[-1])
+            if not neighbors:
+                break
+            walk.append(neighbors[int(generator.integers(len(neighbors)))])
+        if len(walk) < 2:
+            return
+        assert walk_probability(graph, walk) == pytest.approx(
+            oracle_walk_probability(graph, walk), abs=1e-10
+        )
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10_000))
+    def test_probability_in_unit_interval(self, seed):
+        graph = small_random_uncertain_graph(5, 0.4, seed=seed)
+        generator = np.random.default_rng(seed + 1)
+        walk = [graph.vertices()[int(generator.integers(graph.num_vertices))]]
+        for _ in range(4):
+            neighbors = graph.out_neighbors(walk[-1])
+            if not neighbors:
+                break
+            walk.append(neighbors[int(generator.integers(len(neighbors)))])
+        probability = walk_probability(graph, walk)
+        assert 0.0 <= probability <= 1.0

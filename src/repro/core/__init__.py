@@ -10,6 +10,8 @@ The package is organised around the paper's sections:
   (Definition 1, Theorems 1–3, Section V).
 * :mod:`repro.core.baseline` — the exact Baseline algorithm (Section VI-A).
 * :mod:`repro.core.sampling` — the Sampling algorithm (Section VI-B).
+* :mod:`repro.core.batch_walks` — the vectorized batch walk engine backing
+  the ``"vectorized"`` backend of the sampling-based algorithms.
 * :mod:`repro.core.two_phase` — the two-phase algorithm SR-TS (Section VI-C).
 * :mod:`repro.core.speedup` — the bit-vector speed-up SR-SP (Section VI-D).
 * :mod:`repro.core.engine` — a single entry point selecting among the above.
@@ -17,6 +19,14 @@ The package is organised around the paper's sections:
 """
 
 from repro.core.baseline import baseline_simrank, baseline_simrank_all_pairs
+from repro.core.batch_walks import (
+    BACKENDS,
+    WalkBundleCache,
+    batch_meeting_probabilities,
+    meeting_probabilities_from_matrices,
+    sample_walk_matrix,
+    walk_matrix_from_graph,
+)
 from repro.core.engine import SimRankEngine, compute_simrank
 from repro.core.sampling import (
     required_sample_size,
@@ -44,6 +54,12 @@ from repro.core.walks import WalkStatistics, walk_probability
 __all__ = [
     "baseline_simrank",
     "baseline_simrank_all_pairs",
+    "BACKENDS",
+    "WalkBundleCache",
+    "batch_meeting_probabilities",
+    "meeting_probabilities_from_matrices",
+    "sample_walk_matrix",
+    "walk_matrix_from_graph",
     "SimRankEngine",
     "compute_simrank",
     "required_sample_size",

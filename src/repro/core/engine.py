@@ -4,27 +4,38 @@
 iteration count and per-method configuration, and exposes every algorithm of
 the paper behind one ``similarity(u, v, method=...)`` call.  It also owns the
 state that is worth sharing across queries: the α cache of the exact
-algorithms and the offline-built filter vectors of SR-SP.
+algorithms, the offline-built filter vectors of SR-SP, and — for batched
+multi-pair sampling queries — per-endpoint walk bundles.
+
+The ``backend`` parameter selects the estimator engine for the
+sampling-based methods: ``"vectorized"`` (default) runs on the array-backed
+:class:`~repro.graph.csr.CSRGraph` snapshot via
+:mod:`repro.core.batch_walks`; ``"python"`` runs the scalar reference
+implementations.  Both caches (filters, α) are keyed on the graph's mutation
+version, so mutating or replacing :attr:`graph` transparently rebuilds them.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import Hashable, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.baseline import baseline_simrank, baseline_simrank_all_pairs
+from repro.core.batch_walks import WalkBundleCache, validate_backend
 from repro.core.sampling import DEFAULT_NUM_WALKS, sampling_simrank
 from repro.core.simrank import (
     DEFAULT_DECAY,
     DEFAULT_ITERATIONS,
     SimRankResult,
+    simrank_from_meeting_probabilities,
     validate_decay,
     validate_iterations,
 )
 from repro.core.speedup import FilterVectors
 from repro.core.two_phase import DEFAULT_EXACT_PREFIX, two_phase_simrank
 from repro.core.walks import AlphaCache
+from repro.graph.csr import CSRGraph
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.utils.errors import InvalidParameterError
 from repro.utils.rng import RandomState, ensure_rng
@@ -52,6 +63,9 @@ class SimRankEngine:
         The ``l`` of the two-phase methods; default 1.
     seed:
         Seed (or generator) driving all randomness of the engine.
+    backend:
+        ``"vectorized"`` (default) or ``"python"``; the estimator engine used
+        by the sampling-based methods.
 
     Examples
     --------
@@ -70,6 +84,7 @@ class SimRankEngine:
         num_walks: int = DEFAULT_NUM_WALKS,
         exact_prefix: int = DEFAULT_EXACT_PREFIX,
         seed: RandomState = None,
+        backend: str = "vectorized",
     ) -> None:
         self.graph = graph
         self.decay = validate_decay(decay)
@@ -82,18 +97,42 @@ class SimRankEngine:
             )
         self.num_walks = num_walks
         self.exact_prefix = exact_prefix
+        self.backend = validate_backend(backend)
         self._rng = ensure_rng(seed)
         self._alpha_cache = AlphaCache(graph)
+        self._alpha_key = self._graph_key()
         self._filters: FilterVectors | None = None
         self._filters_v: FilterVectors | None = None
+        self._filters_key: Tuple[object, ...] | None = None
 
     # -- shared state --------------------------------------------------------
 
+    def _graph_key(self) -> Tuple[object, ...]:
+        """Identity of the current graph snapshot (object + mutation version)."""
+        return (id(self.graph), self.graph.version)
+
+    def _current_filters_key(self) -> Tuple[object, ...]:
+        return self._graph_key() + (self.num_walks,)
+
+    @property
+    def alpha_cache(self) -> AlphaCache:
+        """The α cache of the exact algorithms, refreshed if the graph changed."""
+        if self._alpha_key != self._graph_key():
+            self._alpha_cache = AlphaCache(self.graph)
+            self._alpha_key = self._graph_key()
+        return self._alpha_cache
+
     @property
     def filters(self) -> FilterVectors:
-        """Offline-built filter vectors for the u-side SR-SP bundle."""
-        if self._filters is None or self._filters.num_processes != self.num_walks:
-            self._filters = FilterVectors(self.graph, self.num_walks, self._rng)
+        """Offline-built filter vectors for the u-side SR-SP bundle.
+
+        Cached per ``(graph, graph.version, num_walks)``: assigning a new
+        graph, mutating the current one, or changing ``num_walks`` all
+        invalidate the cache instead of silently serving stale vectors.
+        """
+        if self._filters is None or self._filters_key != self._current_filters_key():
+            self._rebuild_filter_pair()
+        assert self._filters is not None
         return self._filters
 
     @property
@@ -103,14 +142,20 @@ class SimRankEngine:
         Kept independent of :attr:`filters` so the two endpoint walk bundles
         stay statistically independent (DESIGN.md §5.1).
         """
-        if self._filters_v is None or self._filters_v.num_processes != self.num_walks:
-            self._filters_v = FilterVectors(self.graph, self.num_walks, self._rng)
+        if self._filters_v is None or self._filters_key != self._current_filters_key():
+            self._rebuild_filter_pair()
+        assert self._filters_v is not None
         return self._filters_v
+
+    def _rebuild_filter_pair(self) -> None:
+        self._filters = FilterVectors(self.graph, self.num_walks, self._rng)
+        self._filters_v = FilterVectors(self.graph, self.num_walks, self._rng)
+        self._filters_key = self._current_filters_key()
 
     def rebuild_filters(self) -> FilterVectors:
         """Redraw both SR-SP filter sets (a fresh offline sampling pass)."""
-        self._filters = FilterVectors(self.graph, self.num_walks, self._rng)
-        self._filters_v = FilterVectors(self.graph, self.num_walks, self._rng)
+        self._rebuild_filter_pair()
+        assert self._filters is not None
         return self._filters
 
     # -- queries --------------------------------------------------------------
@@ -126,7 +171,8 @@ class SimRankEngine:
 
         ``method`` is one of ``"baseline"``, ``"sampling"``, ``"two_phase"``
         (SR-TS) and ``"speedup"`` (SR-SP).  Keyword overrides are forwarded to
-        the underlying algorithm (e.g. ``num_walks=...``, ``exact_prefix=...``).
+        the underlying algorithm (e.g. ``num_walks=...``, ``exact_prefix=...``,
+        ``backend=...``).
         """
         if method not in METHODS:
             raise InvalidParameterError(
@@ -139,9 +185,10 @@ class SimRankEngine:
                 v,
                 decay=self.decay,
                 iterations=self.iterations,
-                alpha_cache=self._alpha_cache,
+                alpha_cache=self.alpha_cache,
                 **overrides,
             )
+        overrides.setdefault("backend", self.backend)
         if method == "sampling":
             overrides.setdefault("num_walks", self.num_walks)
             return sampling_simrank(
@@ -167,7 +214,7 @@ class SimRankEngine:
             iterations=self.iterations,
             rng=self._rng,
             use_speedup=use_speedup,
-            alpha_cache=self._alpha_cache,
+            alpha_cache=self.alpha_cache,
             **overrides,
         )
 
@@ -177,8 +224,65 @@ class SimRankEngine:
         method: str = "two_phase",
         **overrides: object,
     ) -> List[SimRankResult]:
-        """SimRank similarities for many pairs (sharing caches and filters)."""
-        return [self.similarity(u, v, method=method, **overrides) for u, v in pairs]
+        """SimRank similarities for many pairs (sharing caches and filters).
+
+        For ``method="sampling"`` with the vectorized backend, the walk
+        bundles are sampled *once per unique endpoint* and reused across every
+        pair that endpoint participates in — a multi-pair query over ``p``
+        pairs touching ``q`` unique vertices costs ``q`` batch samples instead
+        of ``2p``.  Each pair's estimate stays unbiased (reuse only correlates
+        estimates across pairs, as the paper's shared offline filters do).
+        Other methods fall back to per-pair queries sharing the engine caches.
+        """
+        pair_list = list(pairs)
+        backend = overrides.get("backend", self.backend)
+        if method == "sampling" and backend == "vectorized" and len(pair_list) > 1:
+            return self._similarity_many_sampling(pair_list, **overrides)
+        return [self.similarity(u, v, method=method, **overrides) for u, v in pair_list]
+
+    def _similarity_many_sampling(
+        self,
+        pairs: Sequence[Tuple[Vertex, Vertex]],
+        num_walks: int | None = None,
+        backend: str = "vectorized",
+        **overrides: object,
+    ) -> List[SimRankResult]:
+        if overrides:
+            raise InvalidParameterError(
+                f"unsupported overrides for batched sampling: {sorted(overrides)}"
+            )
+        walks = self.num_walks if num_walks is None else int(num_walks)
+        if walks < 1:
+            raise InvalidParameterError(f"num_walks must be >= 1, got {walks}")
+        for u, v in pairs:
+            if not self.graph.has_vertex(u) or not self.graph.has_vertex(v):
+                raise InvalidParameterError(
+                    f"both query vertices must be in the graph: {u!r}, {v!r}"
+                )
+        cache = WalkBundleCache(
+            CSRGraph.from_uncertain(self.graph), self.iterations, walks, self._rng
+        )
+        results = []
+        for u, v in pairs:
+            meeting = cache.meeting_probabilities(u, v)
+            score = simrank_from_meeting_probabilities(meeting, self.decay)
+            results.append(
+                SimRankResult(
+                    u=u,
+                    v=v,
+                    score=score,
+                    meeting_probabilities=tuple(meeting),
+                    decay=self.decay,
+                    iterations=self.iterations,
+                    method="sampling",
+                    details={
+                        "num_walks": walks,
+                        "backend": backend,
+                        "shared_bundles": True,
+                    },
+                )
+            )
+        return results
 
     def similarity_matrix(
         self, order: Sequence[Vertex] | None = None, **overrides: object
@@ -203,6 +307,7 @@ def compute_simrank(
     num_walks: int = DEFAULT_NUM_WALKS,
     exact_prefix: int = DEFAULT_EXACT_PREFIX,
     seed: RandomState = None,
+    backend: str = "vectorized",
     **overrides: object,
 ) -> SimRankResult:
     """One-shot convenience wrapper around :class:`SimRankEngine`.
@@ -217,5 +322,6 @@ def compute_simrank(
         num_walks=num_walks,
         exact_prefix=exact_prefix,
         seed=seed,
+        backend=backend,
     )
     return engine.similarity(u, v, method=method, **overrides)

@@ -21,6 +21,15 @@ and reuses it for both endpoints, which correlates the two walk bundles.  By
 default this implementation draws an independent filter set per endpoint so
 the estimator matches the Sampling algorithm's independence assumption;
 ``shared_filters=True`` restores the paper's exact behaviour.
+
+The filter construction and the online propagation both run on the
+:class:`~repro.graph.csr.CSRGraph` snapshot of the graph.  Filters are stored
+twice: as per-arc :class:`BitVector` objects (the ``"python"`` reference
+backend and the public :meth:`FilterVectors.get` API) and as one
+``(num_arcs, words)`` uint64 matrix consumed by the ``"vectorized"`` backend,
+whose propagation is a handful of numpy gather / AND / segmented-OR passes
+per step instead of a Python loop over counting-table entries.  Both backends
+read the *same* sampled bits, so their estimates agree exactly.
 """
 
 from __future__ import annotations
@@ -29,6 +38,7 @@ from typing import Dict, Hashable, List, Tuple
 
 import numpy as np
 
+from repro.core.batch_walks import validate_backend
 from repro.core.simrank import (
     DEFAULT_DECAY,
     DEFAULT_ITERATIONS,
@@ -37,6 +47,7 @@ from repro.core.simrank import (
     validate_decay,
     validate_iterations,
 )
+from repro.graph.csr import CSRGraph
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.utils.bitvector import BitVector
 from repro.utils.errors import InvalidParameterError
@@ -48,6 +59,26 @@ Arc = Tuple[Vertex, Vertex]
 #: Default number of simultaneous sampling processes (the paper's ``N``).
 DEFAULT_NUM_PROCESSES = 1000
 
+#: Per-byte popcount lookup table for counting meeting processes (Eq. 16).
+_POPCOUNT8 = np.array([bin(value).count("1") for value in range(256)], dtype=np.int64)
+
+
+def _pack_bool_rows(flags: np.ndarray, words: int) -> np.ndarray:
+    """Pack a ``(rows, bits)`` boolean matrix into ``(rows, words)`` uint64.
+
+    Bit layout matches :meth:`BitVector.from_bool_array` (little bit order),
+    so the packed words and the BitVector views of the same flags agree.
+    """
+    packed_bytes = np.packbits(flags, axis=1, bitorder="little")
+    padded = np.zeros((flags.shape[0], words * 8), dtype=np.uint8)
+    padded[:, : packed_bytes.shape[1]] = packed_bytes
+    return padded.view(np.uint64)
+
+
+def _popcount_words(words: np.ndarray) -> int:
+    """Total number of set bits in a uint64 array."""
+    return int(_POPCOUNT8[words.reshape(-1).view(np.uint8)].sum())
+
 
 class FilterVectors:
     """Per-arc filter vectors for ``num_processes`` simultaneous samples.
@@ -57,6 +88,11 @@ class FilterVectors:
     their existence probabilities and one instantiated arc is chosen uniformly
     at random.  Bit ``i`` of the filter vector of arc ``(w, x)`` records that
     process ``i`` chose to move from ``w`` to ``x``.
+
+    The whole construction is one batch of vectorised draws over the CSR arc
+    arrays: existence is an ``(num_arcs, N)`` Bernoulli matrix, and the
+    uniform choice per (vertex, process) is resolved with a segmented
+    cumulative-count trick instead of per-vertex Python loops.
     """
 
     def __init__(self, graph: UncertainGraph, num_processes: int, rng: RandomState = None):
@@ -65,29 +101,63 @@ class FilterVectors:
                 f"num_processes must be >= 1, got {num_processes}"
             )
         self._graph = graph
+        self._csr = CSRGraph.from_uncertain(graph)
         self._num_processes = num_processes
+        self._words = (num_processes + 63) // 64
         self._filters: Dict[Arc, BitVector] = {}
+        self._arc_position: Dict[Arc, int] | None = None
+        self._packed = np.zeros((self._csr.num_arcs, self._words), dtype=np.uint64)
+        self._num_nonzero = 0
         self._build(ensure_rng(rng))
 
+    #: Cap on the size of the dense (processes × arcs) temporaries of one
+    #: build chunk (~128 MB of float64); keeps peak memory bounded on large
+    #: graphs.  Chunks are multiples of 64 so each packs into disjoint words.
+    _BUILD_CHUNK_CELLS = 1 << 24
+
     def _build(self, rng: np.random.Generator) -> None:
-        n = self._num_processes
-        for vertex in self._graph.vertices():
-            out_arcs = self._graph.out_arcs(vertex)
-            if not out_arcs:
-                continue
-            neighbors = list(out_arcs)
-            probabilities = np.array([out_arcs[w] for w in neighbors], dtype=float)
-            # Instantiate every out-arc for every process in one vectorised draw.
-            exists = rng.random((n, len(neighbors))) < probabilities
-            any_exists = exists.any(axis=1)
-            # Choose uniformly among the instantiated arcs of each process by
-            # ranking random keys restricted to the instantiated positions.
-            keys = np.where(exists, rng.random((n, len(neighbors))), -1.0)
-            choice = keys.argmax(axis=1)
-            for position, neighbor in enumerate(neighbors):
-                flags = any_exists & (choice == position)
-                if flags.any():
-                    self._filters[(vertex, neighbor)] = BitVector.from_bool_array(flags)
+        csr = self._csr
+        arcs, n = csr.num_arcs, self._num_processes
+        if arcs == 0:
+            return
+        degrees = csr.out_degrees()
+        nonempty = degrees > 0
+        starts = csr.indptr[:-1][nonempty]
+        segment_of_arc = np.repeat(np.arange(starts.size), degrees[nonempty])
+        chunk = max(64, (self._BUILD_CHUNK_CELLS // arcs) // 64 * 64)
+        any_chosen = np.zeros(arcs, dtype=bool)
+        for first in range(0, n, chunk):
+            block = min(chunk, n - first)
+            chosen = self._build_block(rng, block, starts, segment_of_arc)
+            word = first // 64
+            packed = _pack_bool_rows(np.ascontiguousarray(chosen.T), (block + 63) // 64)
+            self._packed[:, word : word + packed.shape[1]] = packed
+            any_chosen |= chosen.any(axis=0)
+        self._num_nonzero = int(any_chosen.sum())
+
+    def _build_block(
+        self,
+        rng: np.random.Generator,
+        block: int,
+        starts: np.ndarray,
+        segment_of_arc: np.ndarray,
+    ) -> np.ndarray:
+        """Sample the filter bits of ``block`` processes over every arc.
+
+        Process-major layout: all segmented ops run along the contiguous arc
+        axis, with one CSR segment per vertex's out-arc slice.
+        """
+        csr = self._csr
+        exists = rng.random((block, csr.num_arcs)) < csr.probs[None, :]
+        # k = number of instantiated out-arcs per (vertex, process); pick one
+        # uniformly and locate it by its within-segment running count.
+        exists_counts = exists.astype(np.int64)
+        counts = np.add.reduceat(exists_counts, starts, axis=1)
+        picks = (rng.random(counts.shape) * counts).astype(np.int64)
+        cumulative = exists_counts.cumsum(axis=1)
+        segment_base = cumulative[:, starts] - exists_counts[:, starts]
+        within = cumulative - segment_base[:, segment_of_arc]
+        return exists & (within == picks[:, segment_of_arc] + 1)
 
     @property
     def num_processes(self) -> int:
@@ -99,12 +169,48 @@ class FilterVectors:
         """The graph the filter vectors were built for."""
         return self._graph
 
+    @property
+    def csr(self) -> CSRGraph:
+        """The frozen snapshot the filters were sampled on."""
+        return self._csr
+
+    @property
+    def packed(self) -> np.ndarray:
+        """``(num_arcs, words)`` uint64 filter bits in CSR arc order."""
+        return self._packed
+
+    def ones_mask(self) -> np.ndarray:
+        """Packed all-ones vector over the ``num_processes`` bits."""
+        return _pack_bool_rows(
+            np.ones((1, self._num_processes), dtype=bool), self._words
+        )[0]
+
     def get(self, u: Vertex, v: Vertex) -> BitVector:
-        """Filter vector of arc ``(u, v)`` (all-zero if no process chose it)."""
-        return self._filters.get((u, v), BitVector.zeros(self._num_processes))
+        """Filter vector of arc ``(u, v)`` (all-zero if no process chose it).
+
+        BitVector views are materialised lazily from the packed words; the
+        offline build itself stays pure-array.
+        """
+        cached = self._filters.get((u, v))
+        if cached is not None:
+            return cached
+        if self._arc_position is None:
+            csr = self._csr
+            sources = csr.arc_sources()
+            self._arc_position = {
+                (csr.vertex_at(int(sources[arc])), csr.vertex_at(int(csr.indices[arc]))): arc
+                for arc in range(csr.num_arcs)
+            }
+        position = self._arc_position.get((u, v))
+        if position is None:
+            return BitVector.zeros(self._num_processes)
+        bits = int.from_bytes(self._packed[position].tobytes(), "little")
+        vector = BitVector(self._num_processes, bits)
+        self._filters[(u, v)] = vector
+        return vector
 
     def __len__(self) -> int:
-        return len(self._filters)
+        return self._num_nonzero
 
 
 CountingTables = List[Dict[Vertex, BitVector]]
@@ -171,6 +277,55 @@ def meeting_probabilities_from_tables(
     return meeting
 
 
+def propagate_packed_tables(
+    source: Vertex,
+    steps: int,
+    filters: FilterVectors,
+) -> np.ndarray:
+    """Array form of :func:`propagate_counting_tables` on packed filter words.
+
+    Returns a ``(steps + 1, n, words)`` uint64 array ``tables`` with
+    ``tables[k][w]`` the packed bit vector recording in which sampling
+    processes vertex ``w`` is the ``k``-th vertex of the walk from ``source``.
+    Each step is one gather over arc sources, one AND with the packed filter
+    bits, and one destination-grouped OR reduction — no per-vertex Python.
+    """
+    if steps < 0:
+        raise InvalidParameterError(f"steps must be >= 0, got {steps}")
+    csr = filters.csr
+    if not csr.has_vertex(source):
+        raise InvalidParameterError(f"source vertex {source!r} is not in the graph")
+    tables = np.zeros((steps + 1, csr.num_vertices, filters.packed.shape[1]), dtype=np.uint64)
+    tables[0, csr.index_of(source)] = filters.ones_mask()
+    if csr.num_arcs == 0:
+        return tables
+    permutation, group_starts, group_targets = csr.csc_groups()
+    sources = csr.arc_sources()[permutation]
+    packed = filters.packed[permutation]
+    for step in range(steps):
+        contribution = tables[step][sources] & packed
+        tables[step + 1][group_targets] = np.bitwise_or.reduceat(
+            contribution, group_starts, axis=0
+        )
+    return tables
+
+
+def packed_meeting_probabilities(
+    tables_u: np.ndarray,
+    tables_v: np.ndarray,
+    num_processes: int,
+    u: Vertex,
+    v: Vertex,
+) -> List[float]:
+    """Eq. 16 on packed counting tables: popcount of the per-vertex ANDs."""
+    if tables_u.shape != tables_v.shape:
+        raise InvalidParameterError("counting tables must cover the same number of steps")
+    meeting = [1.0 if u == v else 0.0]
+    for k in range(1, tables_u.shape[0]):
+        meeting.append(_popcount_words(tables_u[k] & tables_v[k]) / num_processes)
+    return meeting
+
+
 def speedup_meeting_probabilities(
     graph: UncertainGraph,
     u: Vertex,
@@ -181,6 +336,7 @@ def speedup_meeting_probabilities(
     shared_filters: bool = False,
     filters: FilterVectors | None = None,
     filters_v: FilterVectors | None = None,
+    backend: str = "vectorized",
 ) -> List[float]:
     """Estimate ``m(0) … m(n)`` with the bit-vector propagation of SR-SP.
 
@@ -190,8 +346,14 @@ def speedup_meeting_probabilities(
     the ``v``-side bundle uses, in order of precedence, the same set when
     ``shared_filters=True``, the explicit ``filters_v``, or a freshly drawn
     set.
+
+    ``backend`` selects the online phase: ``"vectorized"`` propagates the
+    packed uint64 filter matrix with numpy segmented reductions, ``"python"``
+    walks the per-vertex :class:`BitVector` counting tables.  Both read the
+    same sampled filter bits and therefore return identical estimates.
     """
     iterations = validate_iterations(iterations)
+    backend = validate_backend(backend)
     generator = ensure_rng(rng)
     filters_u = filters if filters is not None else FilterVectors(graph, num_processes, generator)
     if filters_u.num_processes != num_processes:
@@ -204,6 +366,10 @@ def speedup_meeting_probabilities(
         raise InvalidParameterError(
             "filters and filters_v must encode the same number of sampling processes"
         )
+    if backend == "vectorized":
+        packed_u = propagate_packed_tables(u, iterations, filters_u)
+        packed_v = propagate_packed_tables(v, iterations, filters_v)
+        return packed_meeting_probabilities(packed_u, packed_v, num_processes, u, v)
     tables_u = propagate_counting_tables(graph, u, iterations, filters_u)
     tables_v = propagate_counting_tables(graph, v, iterations, filters_v)
     return meeting_probabilities_from_tables(tables_u, tables_v, num_processes, u, v)
@@ -220,6 +386,7 @@ def speedup_simrank(
     shared_filters: bool = False,
     filters: FilterVectors | None = None,
     filters_v: FilterVectors | None = None,
+    backend: str = "vectorized",
 ) -> SimRankResult:
     """SimRank estimate using the SR-SP bit-vector sampling for every step.
 
@@ -243,6 +410,7 @@ def speedup_simrank(
         shared_filters=shared_filters,
         filters=filters,
         filters_v=filters_v,
+        backend=backend,
     )
     score = simrank_from_meeting_probabilities(meeting, decay)
     return SimRankResult(

@@ -41,8 +41,14 @@ def run_scalability_experiment(
     exact_prefix: int = 1,
     num_walks: int = 400,
     seed: RandomState = 43,
+    backend: str = "vectorized",
 ) -> List[ScalabilityResult]:
-    """Run E6: SR-TS / SR-SP execution time on R-MAT graphs of growing size."""
+    """Run E6: SR-TS / SR-SP execution time on R-MAT graphs of growing size.
+
+    ``backend`` selects the sampling engine for the Monte-Carlo stages (see
+    :mod:`repro.core.batch_walks`); pass ``"python"`` to time the scalar
+    reference implementation instead of the batch walk engine.
+    """
     generator = ensure_rng(seed)
     sr_ts = ScalabilityResult(algorithm="SR-TS")
     sr_sp = ScalabilityResult(algorithm="SR-SP")
@@ -59,6 +65,7 @@ def run_scalability_experiment(
                 graph, u, v,
                 decay=decay, iterations=iterations, exact_prefix=exact_prefix,
                 num_walks=num_walks, rng=generator, alpha_cache=cache,
+                backend=backend,
             )
             totals["SR-TS"] += elapsed
             _, elapsed = time_call(
@@ -67,6 +74,7 @@ def run_scalability_experiment(
                 decay=decay, iterations=iterations, exact_prefix=exact_prefix,
                 num_walks=num_walks, rng=generator, use_speedup=True,
                 filters=filters, filters_v=filters_v, alpha_cache=cache,
+                backend=backend,
             )
             totals["SR-SP"] += elapsed
         for series, key in ((sr_ts, "SR-TS"), (sr_sp, "SR-SP")):

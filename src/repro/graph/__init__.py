@@ -2,6 +2,7 @@
 
 from repro.graph.deterministic import DeterministicGraph
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.graph.csr import CSRGraph
 from repro.graph.possible_worlds import (
     enumerate_possible_worlds,
     sample_possible_world,
@@ -20,6 +21,7 @@ from repro.graph.io import read_edge_list, write_edge_list
 __all__ = [
     "DeterministicGraph",
     "UncertainGraph",
+    "CSRGraph",
     "enumerate_possible_worlds",
     "sample_possible_world",
     "world_probability",

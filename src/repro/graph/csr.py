@@ -1,0 +1,189 @@
+"""Frozen, array-backed snapshots of uncertain graphs (CSR layout).
+
+:class:`UncertainGraph` is a mutable dict-of-dict structure, convenient for
+construction but slow for the sampling hot paths, which spend their time doing
+per-vertex neighbour lookups.  :class:`CSRGraph` freezes a graph into the
+standard compressed-sparse-row triple
+
+* ``indptr``  — ``(n + 1,)`` int64, the out-arc slice boundaries per vertex,
+* ``indices`` — ``(m,)`` int64, the dense destination index of each arc,
+* ``probs``   — ``(m,)`` float64, the existence probability of each arc,
+
+plus a dense vertex indexing (``index_of`` / ``vertex_at``) in the graph's
+insertion order, matching :meth:`UncertainGraph.vertex_index`.  Everything the
+batch walk engine and the SR-SP filter construction need — degrees, arc
+slices, a CSC permutation for destination-grouped reductions — hangs off the
+snapshot as precomputed arrays.
+
+Snapshots are cached on the source graph keyed by its mutation
+:attr:`~repro.graph.uncertain_graph.UncertainGraph.version`, so repeated
+queries against an unchanged graph reuse one snapshot and mutations
+transparently invalidate it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List, Tuple
+
+import numpy as np
+
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.errors import InvalidParameterError
+
+Vertex = Hashable
+
+#: Attribute name under which the per-version snapshot is cached on the graph.
+_CACHE_ATTR = "_csr_snapshot_cache"
+
+
+class CSRGraph:
+    """An immutable array-backed view of an uncertain graph.
+
+    Instances are created with :meth:`from_uncertain` (cached) or directly
+    from prebuilt arrays; they must never be mutated — every consumer (walk
+    matrices, filter vectors, engine caches) assumes the arrays are frozen.
+    """
+
+    __slots__ = (
+        "indptr",
+        "indices",
+        "probs",
+        "_vertices",
+        "_index",
+        "_csc_perm",
+        "_csc_indptr",
+        "_csc_targets",
+    )
+
+    def __init__(
+        self,
+        indptr: np.ndarray,
+        indices: np.ndarray,
+        probs: np.ndarray,
+        vertices: Tuple[Vertex, ...],
+    ) -> None:
+        self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
+        self.indices = np.ascontiguousarray(indices, dtype=np.int64)
+        self.probs = np.ascontiguousarray(probs, dtype=np.float64)
+        self._vertices = tuple(vertices)
+        if self.indptr.shape != (len(self._vertices) + 1,):
+            raise InvalidParameterError(
+                f"indptr must have length n+1, got {self.indptr.shape} for n={len(self._vertices)}"
+            )
+        if self.indices.shape != self.probs.shape:
+            raise InvalidParameterError("indices and probs must have the same length")
+        self._index: Dict[Vertex, int] = {
+            vertex: position for position, vertex in enumerate(self._vertices)
+        }
+        self._csc_perm: np.ndarray | None = None
+        self._csc_indptr: np.ndarray | None = None
+        self._csc_targets: np.ndarray | None = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_uncertain(cls, graph: UncertainGraph) -> "CSRGraph":
+        """Snapshot ``graph``; cached on the graph keyed by its version."""
+        cached = getattr(graph, _CACHE_ATTR, None)
+        if cached is not None and cached[0] == graph.version:
+            return cached[1]
+        snapshot = cls._build(graph)
+        setattr(graph, _CACHE_ATTR, (graph.version, snapshot))
+        return snapshot
+
+    @classmethod
+    def _build(cls, graph: UncertainGraph) -> "CSRGraph":
+        vertices = tuple(graph.vertices())
+        index = {vertex: position for position, vertex in enumerate(vertices)}
+        n = len(vertices)
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        destinations: List[int] = []
+        probabilities: List[float] = []
+        for position, vertex in enumerate(vertices):
+            out_arcs = graph.out_arcs(vertex)
+            indptr[position + 1] = indptr[position] + len(out_arcs)
+            for neighbor, probability in out_arcs.items():
+                destinations.append(index[neighbor])
+                probabilities.append(probability)
+        return cls(
+            indptr,
+            np.asarray(destinations, dtype=np.int64),
+            np.asarray(probabilities, dtype=np.float64),
+            vertices,
+        )
+
+    # -- basic queries -------------------------------------------------------
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices."""
+        return len(self._vertices)
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of (directed) arcs."""
+        return int(self.indices.shape[0])
+
+    @property
+    def vertices(self) -> Tuple[Vertex, ...]:
+        """Vertex labels in dense-index order (the graph's insertion order)."""
+        return self._vertices
+
+    def index_of(self, vertex: Vertex) -> int:
+        """Dense index of a vertex label; raises if absent."""
+        try:
+            return self._index[vertex]
+        except KeyError:
+            raise InvalidParameterError(f"vertex {vertex!r} is not in the graph") from None
+
+    def vertex_at(self, position: int) -> Vertex:
+        """Vertex label at a dense index."""
+        return self._vertices[position]
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Whether the label is part of the snapshot."""
+        return vertex in self._index
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every vertex as an ``(n,)`` array."""
+        return self.indptr[1:] - self.indptr[:-1]
+
+    def out_slice(self, position: int) -> Tuple[np.ndarray, np.ndarray]:
+        """``(destinations, probabilities)`` views of vertex ``position``'s out-arcs."""
+        start, stop = self.indptr[position], self.indptr[position + 1]
+        return self.indices[start:stop], self.probs[start:stop]
+
+    def arc_sources(self) -> np.ndarray:
+        """Source vertex index of every arc (the CSR row of each entry)."""
+        return np.repeat(np.arange(self.num_vertices, dtype=np.int64), self.out_degrees())
+
+    # -- destination-grouped (CSC) view --------------------------------------
+
+    def _ensure_csc(self) -> None:
+        if self._csc_perm is not None:
+            return
+        perm = np.argsort(self.indices, kind="stable")
+        sorted_destinations = self.indices[perm]
+        targets, starts = np.unique(sorted_destinations, return_index=True)
+        self._csc_perm = perm
+        self._csc_indptr = starts.astype(np.int64)
+        self._csc_targets = targets.astype(np.int64)
+
+    def csc_groups(self) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Arc permutation grouping arcs by destination.
+
+        Returns ``(perm, group_starts, group_targets)``: ``perm`` reorders arc
+        arrays so that arcs sharing a destination are contiguous,
+        ``group_starts`` are the segment boundaries suitable for
+        ``np.ufunc.reduceat`` along the permuted arc axis, and
+        ``group_targets`` is the destination vertex of each segment.  Only
+        vertices with at least one in-arc appear.
+        """
+        self._ensure_csc()
+        assert self._csc_perm is not None
+        return self._csc_perm, self._csc_indptr, self._csc_targets
+
+    # -- dunder --------------------------------------------------------------
+
+    def __repr__(self) -> str:
+        return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_arcs})"

@@ -43,6 +43,7 @@ class UncertainGraph:
     ) -> None:
         self._out: Dict[Vertex, Dict[Vertex, float]] = {}
         self._in: Dict[Vertex, Dict[Vertex, float]] = {}
+        self._version = 0
         for vertex in vertices:
             self.add_vertex(vertex)
         for u, v, probability in arcs:
@@ -55,6 +56,7 @@ class UncertainGraph:
         if vertex not in self._out:
             self._out[vertex] = {}
             self._in[vertex] = {}
+            self._version += 1
 
     def add_arc(self, u: Vertex, v: Vertex, probability: float) -> None:
         """Add arc ``(u, v)`` with the given existence probability.
@@ -69,11 +71,13 @@ class UncertainGraph:
         self.add_vertex(v)
         self._out[u][v] = float(probability)
         self._in[v][u] = float(probability)
+        self._version += 1
 
     def remove_arc(self, u: Vertex, v: Vertex) -> None:
         """Remove arc ``(u, v)``; raises ``KeyError`` if absent."""
         del self._out[u][v]
         del self._in[v][u]
+        self._version += 1
 
     def add_undirected_edge(self, u: Vertex, v: Vertex, probability: float) -> None:
         """Add both ``(u, v)`` and ``(v, u)`` with the same probability.
@@ -86,6 +90,15 @@ class UncertainGraph:
             self.add_arc(v, u, probability)
 
     # -- basic queries -------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter; bumped by every structural change.
+
+        Snapshot caches (e.g. :meth:`csr` and the engine's filter vectors) key
+        on ``(graph, version)`` so that mutating the graph invalidates them.
+        """
+        return self._version
 
     @property
     def num_vertices(self) -> int:
@@ -169,6 +182,17 @@ class UncertainGraph:
             if u in index and v in index:
                 matrix[index[u], index[v]] = probability
         return matrix
+
+    def csr(self) -> "object":
+        """Array-backed frozen snapshot of this graph (cached per version).
+
+        Returns the :class:`repro.graph.csr.CSRGraph` for the current state of
+        the graph; repeated calls without intervening mutation return the same
+        object.  (Typed loosely to avoid a circular import.)
+        """
+        from repro.graph.csr import CSRGraph
+
+        return CSRGraph.from_uncertain(self)
 
     # -- conversions ---------------------------------------------------------
 

@@ -70,11 +70,8 @@ class BitVector:
         flags = np.asarray(flags, dtype=bool)
         if flags.ndim != 1:
             raise ValueError("from_bool_array expects a one-dimensional array")
-        indices = np.flatnonzero(flags)
-        bits = 0
-        for index in indices:
-            bits |= 1 << int(index)
-        return cls(int(flags.size), bits)
+        packed = np.packbits(flags, bitorder="little")
+        return cls(int(flags.size), int.from_bytes(packed.tobytes(), "little"))
 
     # -- accessors ---------------------------------------------------------
 
@@ -110,10 +107,11 @@ class BitVector:
 
     def to_bool_array(self) -> np.ndarray:
         """Dense boolean numpy array of length ``width``."""
-        out = np.zeros(self._width, dtype=bool)
-        for index in self.indices():
-            out[index] = True
-        return out
+        if self._width == 0:
+            return np.zeros(0, dtype=bool)
+        raw = self._bits.to_bytes((self._width + 7) // 8, "little")
+        unpacked = np.unpackbits(np.frombuffer(raw, dtype=np.uint8), bitorder="little")
+        return unpacked[: self._width].astype(bool)
 
     def is_zero(self) -> bool:
         """Whether no bit is set."""

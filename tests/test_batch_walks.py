@@ -1,0 +1,212 @@
+"""Cross-validation of the vectorized batch walk engine against the scalar sampler.
+
+The vectorized backend must reproduce the scalar reference semantics: walks
+follow existing arcs, truncate at dead ends of the sampled possible world,
+and the meeting-probability estimator agrees with the scalar one (and with
+the exact Baseline values) within Monte-Carlo tolerance.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import baseline_meeting_probabilities, baseline_simrank
+from repro.core.batch_walks import (
+    NO_VERTEX,
+    WalkBundleCache,
+    batch_meeting_probabilities,
+    meeting_probabilities_from_matrices,
+    sample_walk_matrix,
+    validate_backend,
+    walk_matrix_from_graph,
+)
+from repro.core.sampling import (
+    sample_walk,
+    sampling_meeting_probabilities,
+    sampling_simrank,
+)
+from repro.core.speedup import FilterVectors, speedup_meeting_probabilities
+from repro.graph.csr import CSRGraph
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.errors import InvalidParameterError
+
+#: Monte-Carlo tolerance for two independent estimates at the sample sizes below.
+MC_TOLERANCE = 0.05
+
+
+class TestWalkMatrix:
+    def test_shape_and_source_column(self, paper_graph, rng):
+        walks = walk_matrix_from_graph(paper_graph, "v1", 5, 40, rng)
+        csr = CSRGraph.from_uncertain(paper_graph)
+        assert walks.shape == (40, 6)
+        assert (walks[:, 0] == csr.index_of("v1")).all()
+
+    def test_walks_follow_arcs(self, paper_graph, rng):
+        csr = CSRGraph.from_uncertain(paper_graph)
+        walks = sample_walk_matrix(csr, csr.index_of("v2"), 4, 200, rng)
+        for row in walks:
+            for k in range(4):
+                if row[k + 1] == NO_VERTEX:
+                    break
+                u = csr.vertex_at(int(row[k]))
+                v = csr.vertex_at(int(row[k + 1]))
+                assert paper_graph.has_arc(u, v)
+
+    def test_truncation_is_monotone(self, paper_graph, rng):
+        walks = walk_matrix_from_graph(paper_graph, "v3", 6, 300, rng)
+        for row in walks:
+            dead = np.flatnonzero(row == NO_VERTEX)
+            if dead.size:
+                assert (row[dead[0] :] == NO_VERTEX).all()
+
+    def test_certain_graph_never_truncates(self, certain_graph, rng):
+        walks = walk_matrix_from_graph(certain_graph, "a", 6, 100, rng)
+        assert (walks != NO_VERTEX).all()
+
+    def test_zero_length(self, paper_graph, rng):
+        walks = walk_matrix_from_graph(paper_graph, "v1", 0, 7, rng)
+        assert walks.shape == (7, 1)
+
+    def test_invalid_inputs(self, paper_graph, rng):
+        csr = CSRGraph.from_uncertain(paper_graph)
+        with pytest.raises(InvalidParameterError):
+            sample_walk_matrix(csr, -1, 3, 5, rng)
+        with pytest.raises(InvalidParameterError):
+            sample_walk_matrix(csr, 0, -1, 5, rng)
+        with pytest.raises(InvalidParameterError):
+            sample_walk_matrix(csr, 0, 3, -1, rng)
+        with pytest.raises(InvalidParameterError):
+            validate_backend("fortran")
+
+
+class TestDeadEndTruncation:
+    def test_exact_agreement_on_deterministic_dead_end(self, rng):
+        """On a certain chain into a sink, both samplers truncate identically."""
+        graph = UncertainGraph()
+        graph.add_arc("a", "b", 1.0)
+        graph.add_arc("b", "c", 1.0)
+        csr = CSRGraph.from_uncertain(graph)
+        walks = sample_walk_matrix(csr, csr.index_of("a"), 5, 50, rng)
+        scalar = [sample_walk(graph, "a", 5, rng) for _ in range(50)]
+        expected = [csr.index_of(v) for v in ("a", "b", "c")] + [NO_VERTEX] * 3
+        assert (walks == np.array(expected)).all()
+        assert all(walk == ["a", "b", "c"] for walk in scalar)
+
+    def test_truncation_length_distribution_matches_scalar(self, rng):
+        """Stochastic dead ends: per-step survival matches the scalar sampler."""
+        graph = UncertainGraph()
+        graph.add_arc("a", "b", 0.5)
+        graph.add_arc("b", "c", 0.5)
+        graph.add_arc("c", "a", 0.5)
+        count, steps = 4000, 3
+        walks = walk_matrix_from_graph(graph, "a", steps, count, rng)
+        vector_survival = (walks != NO_VERTEX).mean(axis=0)
+        scalar_lengths = np.array(
+            [len(sample_walk(graph, "a", steps, rng)) for _ in range(count)]
+        )
+        for k in range(steps + 1):
+            scalar_survival = (scalar_lengths > k).mean()
+            assert vector_survival[k] == pytest.approx(scalar_survival, abs=MC_TOLERANCE)
+
+
+class TestCrossValidation:
+    def test_meeting_probabilities_match_scalar(self, paper_graph):
+        vectorized = sampling_meeting_probabilities(
+            paper_graph, "v1", "v2", 4, num_walks=4000, rng=7
+        )
+        scalar = sampling_meeting_probabilities(
+            paper_graph, "v1", "v2", 4, num_walks=4000, rng=7, backend="python"
+        )
+        assert vectorized[0] == scalar[0] == 0.0
+        for vec_value, scalar_value in zip(vectorized[1:], scalar[1:]):
+            assert vec_value == pytest.approx(scalar_value, abs=MC_TOLERANCE)
+
+    def test_meeting_probabilities_match_exact(self, paper_graph):
+        exact = baseline_meeting_probabilities(paper_graph, "v2", "v4", 4)
+        estimated = batch_meeting_probabilities(paper_graph, "v2", "v4", 4, 6000, rng=3)
+        for exact_value, estimate in zip(exact, estimated):
+            assert estimate == pytest.approx(exact_value, abs=0.03)
+
+    def test_simrank_score_matches_scalar_backend(self, paper_graph):
+        exact = baseline_simrank(paper_graph, "v1", "v2", iterations=4).score
+        vectorized = sampling_simrank(
+            paper_graph, "v1", "v2", iterations=4, num_walks=6000, rng=11
+        ).score
+        scalar = sampling_simrank(
+            paper_graph, "v1", "v2", iterations=4, num_walks=6000, rng=11, backend="python"
+        ).score
+        assert vectorized == pytest.approx(exact, abs=0.02)
+        assert scalar == pytest.approx(exact, abs=0.02)
+
+    def test_same_endpoint_meets_at_step_zero(self, paper_graph):
+        meeting = batch_meeting_probabilities(paper_graph, "v1", "v1", 3, 500, rng=5)
+        assert meeting[0] == 1.0
+
+    def test_vectorized_backend_is_reproducible(self, paper_graph):
+        first = sampling_simrank(paper_graph, "v1", "v2", num_walks=300, rng=3).score
+        second = sampling_simrank(paper_graph, "v1", "v2", num_walks=300, rng=3).score
+        assert first == second
+
+    def test_speedup_backends_agree_exactly(self, paper_graph):
+        """Same filter bits, two propagation engines: identical estimates."""
+        filters_u = FilterVectors(paper_graph, 700, rng=3)
+        filters_v = FilterVectors(paper_graph, 700, rng=4)
+        vectorized = speedup_meeting_probabilities(
+            paper_graph, "v1", "v2", 4, filters=filters_u, filters_v=filters_v
+        )
+        python = speedup_meeting_probabilities(
+            paper_graph, "v1", "v2", 4,
+            filters=filters_u, filters_v=filters_v, backend="python",
+        )
+        assert vectorized == python
+
+
+class TestMeetingFromMatrices:
+    def test_truncated_walks_never_meet(self):
+        walks_u = np.array([[0, NO_VERTEX], [0, 2]])
+        walks_v = np.array([[1, NO_VERTEX], [1, 2]])
+        meeting = meeting_probabilities_from_matrices(walks_u, walks_v, 1, False)
+        assert meeting == [0.0, 0.5]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            meeting_probabilities_from_matrices(
+                np.zeros((2, 3), dtype=np.int64), np.zeros((3, 3), dtype=np.int64), 2, False
+            )
+
+    def test_insufficient_steps_rejected(self):
+        walks = np.zeros((2, 3), dtype=np.int64)
+        with pytest.raises(InvalidParameterError):
+            meeting_probabilities_from_matrices(walks, walks, 5, True)
+
+
+class TestWalkBundleCache:
+    def test_bundles_sampled_once_per_endpoint(self, paper_graph, rng):
+        cache = WalkBundleCache(CSRGraph.from_uncertain(paper_graph), 4, 100, rng)
+        csr = cache.csr
+        first = cache.bundle(csr.index_of("v1"))
+        assert cache.bundle(csr.index_of("v1")) is first
+        cache.meeting_probabilities("v1", "v2")
+        assert cache.bundle(csr.index_of("v1")) is first
+
+    def test_meeting_probabilities_consistent_with_direct(self, paper_graph):
+        exact = baseline_meeting_probabilities(paper_graph, "v1", "v2", 4)
+        cache = WalkBundleCache(CSRGraph.from_uncertain(paper_graph), 4, 6000, rng=9)
+        estimated = cache.meeting_probabilities("v1", "v2")
+        for exact_value, estimate in zip(exact, estimated):
+            assert estimate == pytest.approx(exact_value, abs=0.03)
+
+    def test_self_pair_uses_independent_bundles(self, paper_graph):
+        """A (u, u) query must not compare a bundle against itself: the walks
+        would be perfectly correlated and m(k) grossly inflated."""
+        exact = baseline_meeting_probabilities(paper_graph, "v1", "v1", 4)
+        cache = WalkBundleCache(CSRGraph.from_uncertain(paper_graph), 4, 6000, rng=9)
+        estimated = cache.meeting_probabilities("v1", "v1")
+        assert estimated[0] == 1.0
+        for exact_value, estimate in zip(exact[1:], estimated[1:]):
+            assert estimate == pytest.approx(exact_value, abs=0.03)
+        csr = cache.csr
+        assert cache.bundle(csr.index_of("v1")) is not cache.bundle(
+            csr.index_of("v1"), twin=True
+        )

@@ -1,0 +1,103 @@
+"""Tests for the array-backed CSR graph snapshots."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graph.csr import CSRGraph
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.utils.errors import InvalidParameterError
+
+
+class TestConstruction:
+    def test_matches_dict_graph(self, paper_graph):
+        csr = CSRGraph.from_uncertain(paper_graph)
+        assert csr.num_vertices == paper_graph.num_vertices
+        assert csr.num_arcs == paper_graph.num_arcs
+        for vertex in paper_graph.vertices():
+            position = csr.index_of(vertex)
+            destinations, probabilities = csr.out_slice(position)
+            arcs = {csr.vertex_at(int(d)): p for d, p in zip(destinations, probabilities)}
+            assert arcs == paper_graph.out_arcs(vertex)
+
+    def test_vertex_order_matches_insertion_order(self, paper_graph):
+        csr = CSRGraph.from_uncertain(paper_graph)
+        assert list(csr.vertices) == paper_graph.vertices()
+        index = paper_graph.vertex_index()
+        for vertex, position in index.items():
+            assert csr.index_of(vertex) == position
+
+    def test_empty_graph(self):
+        csr = CSRGraph.from_uncertain(UncertainGraph())
+        assert csr.num_vertices == 0
+        assert csr.num_arcs == 0
+
+    def test_isolated_vertices(self):
+        graph = UncertainGraph(vertices=["a", "b"])
+        graph.add_arc("b", "a", 0.5)
+        csr = CSRGraph.from_uncertain(graph)
+        assert csr.out_degrees().tolist() == [0, 1]
+
+    def test_unknown_vertex_rejected(self, paper_graph):
+        csr = CSRGraph.from_uncertain(paper_graph)
+        with pytest.raises(InvalidParameterError):
+            csr.index_of("nope")
+
+
+class TestCaching:
+    def test_snapshot_is_cached(self, paper_graph):
+        first = CSRGraph.from_uncertain(paper_graph)
+        assert CSRGraph.from_uncertain(paper_graph) is first
+        assert paper_graph.csr() is first
+
+    def test_mutation_invalidates_cache(self, paper_graph):
+        first = CSRGraph.from_uncertain(paper_graph)
+        paper_graph.add_arc("v5", "v1", 0.25)
+        second = CSRGraph.from_uncertain(paper_graph)
+        assert second is not first
+        assert second.num_arcs == first.num_arcs + 1
+
+    def test_removal_invalidates_cache(self, paper_graph):
+        first = CSRGraph.from_uncertain(paper_graph)
+        paper_graph.remove_arc("v1", "v3")
+        second = CSRGraph.from_uncertain(paper_graph)
+        assert second is not first
+        assert second.num_arcs == first.num_arcs - 1
+
+    def test_version_counter_monotone(self):
+        graph = UncertainGraph()
+        seen = {graph.version}
+        graph.add_vertex("a")
+        seen.add(graph.version)
+        graph.add_arc("a", "b", 0.5)
+        seen.add(graph.version)
+        graph.remove_arc("a", "b")
+        seen.add(graph.version)
+        assert len(seen) >= 4
+
+
+class TestCscGroups:
+    def test_groups_cover_in_arcs(self, paper_graph):
+        csr = CSRGraph.from_uncertain(paper_graph)
+        permutation, starts, targets = csr.csc_groups()
+        assert permutation.shape[0] == csr.num_arcs
+        sources = csr.arc_sources()[permutation]
+        destinations = csr.indices[permutation]
+        boundaries = list(starts) + [csr.num_arcs]
+        for group, target in enumerate(targets):
+            segment = slice(boundaries[group], boundaries[group + 1])
+            assert (destinations[segment] == target).all()
+            in_neighbors = {
+                csr.vertex_at(int(s)) for s in sources[segment]
+            }
+            assert in_neighbors == set(paper_graph.in_neighbors(csr.vertex_at(int(target))))
+
+    def test_probabilities_permute_consistently(self, paper_graph):
+        csr = CSRGraph.from_uncertain(paper_graph)
+        permutation, _, _ = csr.csc_groups()
+        sources = csr.arc_sources()
+        for arc in permutation:
+            u = csr.vertex_at(int(sources[arc]))
+            v = csr.vertex_at(int(csr.indices[arc]))
+            assert paper_graph.probability(u, v) == pytest.approx(csr.probs[arc])

@@ -51,11 +51,69 @@ class TestEngine:
         engine.num_walks = 128
         assert engine.filters.num_processes == 128
 
+    def test_filters_invalidated_by_graph_mutation(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=64, seed=5)
+        before = engine.filters
+        before_v = engine.filters_v
+        paper_graph.add_arc("v5", "v1", 0.4)
+        assert engine.filters is not before
+        assert engine.filters_v is not before_v
+        assert engine.filters.get("v5", "v1").width == 64
+
+    def test_filters_invalidated_by_graph_reassignment(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=64, seed=5)
+        before = engine.filters
+        engine.graph = paper_graph.copy()
+        after = engine.filters
+        assert after is not before
+        assert after.graph is engine.graph
+
+    def test_backend_validation(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            SimRankEngine(paper_graph, backend="magic")
+
+    def test_backends_statistically_consistent(self, paper_graph):
+        """Acceptance criterion: python and vectorized sampling estimates agree."""
+        exact = baseline_simrank(paper_graph, "v1", "v2", iterations=4).score
+        for backend in ("python", "vectorized"):
+            engine = SimRankEngine(
+                paper_graph, iterations=4, num_walks=5000, seed=2, backend=backend
+            )
+            result = engine.similarity("v1", "v2", method="sampling")
+            assert result.details["backend"] == backend
+            assert result.score == pytest.approx(exact, abs=0.025)
+
+    def test_backend_forwarded_to_two_phase(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=100, seed=9, backend="python")
+        result = engine.similarity("v1", "v2", method="two_phase")
+        assert result.details["backend"] == "python"
+        override = engine.similarity("v1", "v2", method="two_phase", backend="vectorized")
+        assert override.details["backend"] == "vectorized"
+
     def test_similarity_many(self, paper_graph):
         engine = SimRankEngine(paper_graph, num_walks=100, seed=7)
         results = engine.similarity_many([("v1", "v2"), ("v2", "v3")], method="sampling")
         assert len(results) == 2
         assert {(r.u, r.v) for r in results} == {("v1", "v2"), ("v2", "v3")}
+
+    def test_similarity_many_shares_walk_bundles(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=4, num_walks=6000, seed=7)
+        pairs = [("v1", "v2"), ("v1", "v3"), ("v2", "v3")]
+        results = engine.similarity_many(pairs, method="sampling")
+        assert all(r.details.get("shared_bundles") for r in results)
+        for result in results:
+            exact = baseline_simrank(paper_graph, result.u, result.v, iterations=4).score
+            assert result.score == pytest.approx(exact, abs=0.025)
+
+    def test_similarity_many_python_backend_falls_back(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=50, seed=7, backend="python")
+        results = engine.similarity_many([("v1", "v2"), ("v2", "v3")], method="sampling")
+        assert all("shared_bundles" not in r.details for r in results)
+
+    def test_similarity_many_rejects_unknown_vertices(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=50, seed=7)
+        with pytest.raises(InvalidParameterError):
+            engine.similarity_many([("v1", "nope"), ("v1", "v2")], method="sampling")
 
     def test_similarity_matrix(self, paper_graph):
         engine = SimRankEngine(paper_graph, iterations=3)

@@ -21,11 +21,14 @@ from repro.datasets.registry import load_dataset
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import random_vertex_pairs, related_vertex_pairs, rmat_uncertain
 
+from bench_config import BENCH_NUM_WALKS, SWEEP_GRAPH_SIZE
+
 ITERATIONS = 4
 NUM_WALKS = 300
 
-#: The paper's N, used by the backend-comparison benchmarks.
-BACKEND_NUM_WALKS = 1000
+#: The paper's N, used by the backend-comparison benchmarks (reduced when
+#: REPRO_BENCH_QUICK=1, see benchmarks/conftest.py).
+BACKEND_NUM_WALKS = BENCH_NUM_WALKS
 
 
 @pytest.fixture(scope="module")
@@ -114,8 +117,8 @@ def test_bench_filter_vector_construction(benchmark, net_graph):
 
 @pytest.fixture(scope="module")
 def sweep_graph():
-    """An R-MAT graph from the Fig. 12 scalability sweep (|V|=600, |E|≈6000)."""
-    graph = rmat_uncertain(600, 6000, rng=43)
+    """An R-MAT graph from the Fig. 12 scalability sweep (smallest in quick mode)."""
+    graph = rmat_uncertain(*SWEEP_GRAPH_SIZE, rng=43)
     CSRGraph.from_uncertain(graph)  # warm the snapshot cache for all backends
     return graph
 

@@ -18,13 +18,15 @@ from repro.core.engine import SimRankEngine, compute_simrank
 from repro.core.simrank import SimRankResult
 from repro.graph.deterministic import DeterministicGraph
 from repro.graph.uncertain_graph import UncertainGraph, example_graph
+from repro.service import SimilarityService
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "SimRankEngine",
     "compute_simrank",
     "SimRankResult",
+    "SimilarityService",
     "UncertainGraph",
     "DeterministicGraph",
     "example_graph",

@@ -23,8 +23,11 @@ from repro.core.batch_walks import (
     BACKENDS,
     WalkBundleCache,
     batch_meeting_probabilities,
+    bundle_key,
+    meeting_probabilities_against_many,
     meeting_probabilities_from_matrices,
     sample_walk_matrix,
+    sample_walk_matrix_keyed,
     walk_matrix_from_graph,
 )
 from repro.core.engine import SimRankEngine, compute_simrank
@@ -57,8 +60,11 @@ __all__ = [
     "BACKENDS",
     "WalkBundleCache",
     "batch_meeting_probabilities",
+    "bundle_key",
+    "meeting_probabilities_against_many",
     "meeting_probabilities_from_matrices",
     "sample_walk_matrix",
+    "sample_walk_matrix_keyed",
     "walk_matrix_from_graph",
     "SimRankEngine",
     "compute_simrank",

@@ -25,7 +25,7 @@ drawn fresh from the numpy ``Generator`` at every step, as in the scalar code.
 
 from __future__ import annotations
 
-from typing import Hashable, List, Sequence
+from typing import Callable, Hashable, List, Sequence
 
 import numpy as np
 
@@ -45,7 +45,18 @@ NO_VERTEX = -1
 _SPLITMIX_GAMMA = np.uint64(0x9E3779B97F4A7C15)
 _SPLITMIX_M1 = np.uint64(0xBF58476D1CE4E5B9)
 _SPLITMIX_M2 = np.uint64(0x94D049BB133111EB)
+#: Salt separating the per-step *choice* stream of the keyed sampler from the
+#: per-arc *existence* stream (both are derived from the same world key).
+_PICK_SALT = np.uint64(0xD1B54A32D192ED03)
 _INV_2_53 = float(2.0**-53)
+
+#: Row-chunk size of the keyed sampler.  Multi-source batches can reach
+#: hundreds of thousands of walks; the per-step flat arc arrays of such a
+#: batch spill out of cache and the whole sweep becomes memory-bound (a 200k
+#: walk sweep runs ~5x slower un-chunked).  Walks are row-independent, so
+#: evaluating the batch in fixed-size chunks is bit-identical and keeps the
+#: working set cache-resident; ~2k rows measured best on laptop-class CPUs.
+KEYED_CHUNK_ROWS = 2048
 
 
 def validate_backend(backend: str) -> str:
@@ -76,35 +87,40 @@ def _arc_uniforms(world_keys: np.ndarray, arc_ids: np.ndarray) -> np.ndarray:
     return (_splitmix64(mixed) >> np.uint64(11)).astype(np.float64) * _INV_2_53
 
 
-def sample_walk_matrix(
-    csr: CSRGraph,
-    source: int,
-    length: int,
-    count: int,
-    rng: RandomState = None,
-) -> np.ndarray:
-    """Sample ``count`` lazy-possible-world walks from dense vertex ``source``.
+def _pick_uniforms(world_keys: np.ndarray, step: int) -> np.ndarray:
+    """Counter-based uniforms in ``[0, 1)`` for the step-``step`` arc choice.
 
-    Returns a ``(count, length + 1)`` int64 matrix whose row ``i`` is walk
-    ``i``: column 0 is ``source``, column ``k`` the vertex after ``k`` steps,
-    and :data:`NO_VERTEX` once the walk has been truncated (it reached a
-    vertex none of whose out-arcs were instantiated in its possible world).
+    A pure function of ``(world_key, step)``, drawn from a stream salted away
+    from the arc-existence stream of :func:`_arc_uniforms`.  Used by the keyed
+    sampler so that a whole walk matrix is a deterministic function of its
+    world keys, independent of evaluation order or sharding.
     """
-    if not 0 <= source < csr.num_vertices:
-        raise InvalidParameterError(f"source index {source} out of range")
-    if length < 0:
-        raise InvalidParameterError(f"length must be >= 0, got {length}")
-    if count < 0:
-        raise InvalidParameterError(f"count must be >= 0, got {count}")
-    generator = ensure_rng(rng)
+    mixed = _splitmix64(world_keys ^ _PICK_SALT) + np.uint64(step + 1)
+    return (_splitmix64(mixed) >> np.uint64(11)).astype(np.float64) * _INV_2_53
+
+
+def _sample_walks_core(
+    csr: CSRGraph,
+    sources: np.ndarray,
+    length: int,
+    world_keys: np.ndarray,
+    pick_uniforms: Callable[[np.ndarray, int], np.ndarray],
+) -> np.ndarray:
+    """Shared step loop of the batch samplers.
+
+    ``pick_uniforms(active, step)`` supplies the uniform used to choose among
+    the instantiated arcs of each still-active walk: the stateful sampler
+    draws it fresh from a ``Generator``, the keyed sampler derives it from the
+    walk's world key and the step counter.
+    """
+    count = sources.shape[0]
     walks = np.full((count, length + 1), NO_VERTEX, dtype=np.int64)
-    walks[:, 0] = source
+    walks[:, 0] = sources
     if count == 0 or length == 0:
         return walks
 
-    world_keys = generator.integers(0, 2**64, size=count, dtype=np.uint64)
     active = np.arange(count)
-    current = np.full(count, source, dtype=np.int64)
+    current = sources.astype(np.int64, copy=True)
     indptr, indices, probs = csr.indptr, csr.indices, csr.probs
     for step in range(length):
         if active.size == 0:
@@ -127,7 +143,7 @@ def sample_walk_matrix(
         alive = instantiated > 0
         # Uniform fresh choice among the instantiated arcs of each walk: pick
         # the (picks + 1)-th instantiated arc by its within-row running count.
-        picks = (generator.random(active.size) * instantiated).astype(np.int64)
+        picks = (pick_uniforms(active, step) * instantiated).astype(np.int64)
         cumulative = exists.cumsum()
         row_base = cumulative[row_starts[:-1]] - exists[row_starts[:-1]]
         within = cumulative - row_base[flat_row]
@@ -137,6 +153,97 @@ def sample_walk_matrix(
         walks[active, step + 1] = destinations
         current[active] = destinations
     return walks
+
+
+def sample_walk_matrix(
+    csr: CSRGraph,
+    source: int,
+    length: int,
+    count: int,
+    rng: RandomState = None,
+) -> np.ndarray:
+    """Sample ``count`` lazy-possible-world walks from dense vertex ``source``.
+
+    Returns a ``(count, length + 1)`` int64 matrix whose row ``i`` is walk
+    ``i``: column 0 is ``source``, column ``k`` the vertex after ``k`` steps,
+    and :data:`NO_VERTEX` once the walk has been truncated (it reached a
+    vertex none of whose out-arcs were instantiated in its possible world).
+    """
+    if not 0 <= source < csr.num_vertices:
+        raise InvalidParameterError(f"source index {source} out of range")
+    if length < 0:
+        raise InvalidParameterError(f"length must be >= 0, got {length}")
+    if count < 0:
+        raise InvalidParameterError(f"count must be >= 0, got {count}")
+    generator = ensure_rng(rng)
+    sources = np.full(count, source, dtype=np.int64)
+    if count == 0 or length == 0:
+        world_keys = np.empty(count, dtype=np.uint64)
+    else:
+        world_keys = generator.integers(0, 2**64, size=count, dtype=np.uint64)
+    return _sample_walks_core(
+        csr,
+        sources,
+        length,
+        world_keys,
+        lambda active, step: generator.random(active.size),
+    )
+
+
+def sample_walk_matrix_keyed(
+    csr: CSRGraph,
+    sources: np.ndarray,
+    length: int,
+    world_keys: np.ndarray,
+) -> np.ndarray:
+    """Sample one walk per ``(source, world key)`` pair, fully deterministically.
+
+    Unlike :func:`sample_walk_matrix`, which draws the arc choices from a
+    stateful generator, every entry of the returned matrix is a pure function
+    of ``(csr, sources[i], world_keys[i])``: the arc-existence draws come from
+    the counter-based hash of :func:`_arc_uniforms` and the per-step choice
+    among instantiated arcs from :func:`_pick_uniforms`.  This is what makes
+    sharded parallel sampling bit-identical to a single-process pass — the
+    walks of any subset of rows can be computed anywhere, in any order, and
+    concatenated (see :class:`repro.service.sharding.ShardedWalkSampler`).
+
+    ``sources`` may mix different endpoints freely, so the walk bundles of an
+    entire query batch can be sampled in one vectorized sweep.
+    """
+    sources = np.ascontiguousarray(sources, dtype=np.int64)
+    world_keys = np.ascontiguousarray(world_keys, dtype=np.uint64)
+    if sources.ndim != 1 or world_keys.shape != sources.shape:
+        raise InvalidParameterError(
+            "sources and world_keys must be 1-d arrays of the same length"
+        )
+    if length < 0:
+        raise InvalidParameterError(f"length must be >= 0, got {length}")
+    if sources.size and not (
+        0 <= int(sources.min()) and int(sources.max()) < csr.num_vertices
+    ):
+        raise InvalidParameterError("source indices out of range")
+
+    def sample_chunk(chunk_sources: np.ndarray, chunk_keys: np.ndarray) -> np.ndarray:
+        return _sample_walks_core(
+            csr,
+            chunk_sources,
+            length,
+            chunk_keys,
+            lambda active, step: _pick_uniforms(chunk_keys[active], step),
+        )
+
+    if sources.size <= KEYED_CHUNK_ROWS:
+        return sample_chunk(sources, world_keys)
+    return np.concatenate(
+        [
+            sample_chunk(
+                sources[start : start + KEYED_CHUNK_ROWS],
+                world_keys[start : start + KEYED_CHUNK_ROWS],
+            )
+            for start in range(0, sources.size, KEYED_CHUNK_ROWS)
+        ],
+        axis=0,
+    )
 
 
 def walk_matrix_from_graph(
@@ -187,6 +294,46 @@ def meeting_probabilities_from_matrices(
     return [1.0 if same_endpoint else 0.0] + (hits / count).tolist()
 
 
+def meeting_probabilities_against_many(
+    walks_u: np.ndarray,
+    bundles: Sequence[np.ndarray],
+    iterations: int,
+    chunk_size: int = 128,
+) -> np.ndarray:
+    """``m(1) … m(n)`` of one query bundle against many candidate bundles.
+
+    The batched analogue of :func:`meeting_probabilities_from_matrices` for
+    top-k-for-vertex queries: instead of one numpy pass per candidate, the
+    candidate bundles are stacked (in chunks of ``chunk_size``, to bound the
+    transient 3-d array) and compared against the query bundle in a single
+    broadcasted comparison.  Returns a ``(len(bundles), iterations)`` float
+    array; row ``j`` is ``m(1) … m(n)`` of the pair (query, candidate ``j``).
+    ``m(0)`` is not included — it needs no sampling and depends only on
+    whether the endpoints coincide, which the caller knows.
+    """
+    count, columns = walks_u.shape
+    if count < 1:
+        raise InvalidParameterError("at least one pair of sampled walks is required")
+    if columns < iterations + 1:
+        raise InvalidParameterError(
+            f"walk matrices cover {columns - 1} steps, need {iterations}"
+        )
+    if chunk_size < 1:
+        raise InvalidParameterError(f"chunk_size must be >= 1, got {chunk_size}")
+    steps_u = walks_u[:, 1 : iterations + 1]
+    alive_u = steps_u != NO_VERTEX
+    result = np.empty((len(bundles), iterations), dtype=np.float64)
+    for start in range(0, len(bundles), chunk_size):
+        block = bundles[start : start + chunk_size]
+        for matrix in block:
+            if matrix.shape != walks_u.shape:
+                raise InvalidParameterError("walk matrices must have the same shape")
+        stacked = np.stack(block)[:, :, 1 : iterations + 1]
+        hits = ((stacked == steps_u[None]) & alive_u[None]).sum(axis=1)
+        result[start : start + len(block)] = hits / count
+    return result
+
+
 def batch_meeting_probabilities(
     graph: UncertainGraph,
     u: Vertex,
@@ -208,6 +355,23 @@ def batch_meeting_probabilities(
     )
 
 
+def bundle_key(
+    vertex_index: int, twin: bool, length: int, num_walks: int
+) -> tuple:
+    """Canonical store-key *suffix* of one endpoint's walk bundle.
+
+    Every producer prefixes this with its sampling-scheme namespace —
+    ``("rng",)`` for the stateful-generator bundles of
+    :class:`WalkBundleCache`, ``("keyed", seed, shard_size)`` for the
+    deterministic sharded sampler (see
+    :meth:`repro.service.sharding.ShardedWalkSampler.store_key`) — so that
+    bundles drawn under different schemes can share one
+    :class:`~repro.service.bundle_store.WalkBundleStore` without ever being
+    mistaken for each other.
+    """
+    return (int(vertex_index), bool(twin), int(length), int(num_walks))
+
+
 class WalkBundleCache:
     """Walk matrices sampled once per endpoint and shared across query pairs.
 
@@ -216,6 +380,12 @@ class WalkBundleCache:
     once and reused for every pair it participates in.  Individual pair
     estimates stay unbiased; reuse only correlates estimates *across* pairs,
     the same trade the paper makes when reusing offline filter vectors.
+
+    Bundles live in a :class:`repro.service.bundle_store.WalkBundleStore`
+    rather than a plain dict, so long-running callers can pass a shared,
+    LRU-bounded ``store`` and keep memory under a budget; without one, an
+    unbounded per-cache store is created (the lifetime of which is the
+    lifetime of the cache, i.e. one batched query).
     """
 
     def __init__(
@@ -224,6 +394,7 @@ class WalkBundleCache:
         length: int,
         num_walks: int,
         rng: RandomState = None,
+        store: "object | None" = None,
     ) -> None:
         if num_walks < 1:
             raise InvalidParameterError(f"num_walks must be >= 1, got {num_walks}")
@@ -231,13 +402,23 @@ class WalkBundleCache:
         self._length = length
         self._num_walks = num_walks
         self._rng = ensure_rng(rng)
-        self._bundles: dict[int, np.ndarray] = {}
-        self._twin_bundles: dict[int, np.ndarray] = {}
+        if store is None:
+            # Imported lazily: repro.core must stay importable without the
+            # service layer, and repro.service imports repro.core.
+            from repro.service.bundle_store import WalkBundleStore
+
+            store = WalkBundleStore(budget_bytes=None)
+        self._store = store
 
     @property
     def csr(self) -> CSRGraph:
         """The snapshot the bundles were sampled on."""
         return self._csr
+
+    @property
+    def store(self) -> "object":
+        """The bundle store backing this cache."""
+        return self._store
 
     def bundle(self, vertex_index: int, twin: bool = False) -> np.ndarray:
         """The (cached) walk matrix of one endpoint.
@@ -247,13 +428,13 @@ class WalkBundleCache:
         bundle against itself would make the two walks of every sample index
         perfectly correlated and wildly overestimate the meeting probability.
         """
-        bundles = self._twin_bundles if twin else self._bundles
-        bundle = bundles.get(vertex_index)
+        key = ("rng",) + bundle_key(vertex_index, twin, self._length, self._num_walks)
+        bundle = self._store.get(key)
         if bundle is None:
             bundle = sample_walk_matrix(
                 self._csr, vertex_index, self._length, self._num_walks, self._rng
             )
-            bundles[vertex_index] = bundle
+            self._store.put(key, bundle)
         return bundle
 
     def meeting_probabilities(self, u: Vertex, v: Vertex) -> List[float]:

@@ -66,6 +66,12 @@ class SimRankEngine:
     backend:
         ``"vectorized"`` (default) or ``"python"``; the estimator engine used
         by the sampling-based methods.
+    bundle_store:
+        Optional :class:`repro.service.bundle_store.WalkBundleStore` shared
+        across batched sampling queries.  With a store, walk bundles persist
+        across :meth:`similarity_many` calls under the store's LRU byte
+        budget and are invalidated when the graph mutates; without one, each
+        batched call samples its bundles afresh (the pre-service behaviour).
 
     Examples
     --------
@@ -85,8 +91,10 @@ class SimRankEngine:
         exact_prefix: int = DEFAULT_EXACT_PREFIX,
         seed: RandomState = None,
         backend: str = "vectorized",
+        bundle_store: "object | None" = None,
     ) -> None:
         self.graph = graph
+        self.bundle_store = bundle_store
         self.decay = validate_decay(decay)
         self.iterations = validate_iterations(iterations)
         if num_walks < 1:
@@ -236,7 +244,12 @@ class SimRankEngine:
         """
         pair_list = list(pairs)
         backend = overrides.get("backend", self.backend)
-        if method == "sampling" and backend == "vectorized" and len(pair_list) > 1:
+        if method == "sampling" and backend == "vectorized" and (
+            len(pair_list) > 1 or self.bundle_store is not None
+        ):
+            # A single-pair call still goes through the bundle path when a
+            # store is configured: the endpoints may already be cached, and
+            # the estimate must agree with what the batched path returns.
             return self._similarity_many_sampling(pair_list, **overrides)
         return [self.similarity(u, v, method=method, **overrides) for u, v in pair_list]
 
@@ -259,8 +272,14 @@ class SimRankEngine:
                 raise InvalidParameterError(
                     f"both query vertices must be in the graph: {u!r}, {v!r}"
                 )
+        if self.bundle_store is not None:
+            self.bundle_store.sync_version(self._graph_key())
         cache = WalkBundleCache(
-            CSRGraph.from_uncertain(self.graph), self.iterations, walks, self._rng
+            CSRGraph.from_uncertain(self.graph),
+            self.iterations,
+            walks,
+            self._rng,
+            store=self.bundle_store,
         )
         results = []
         for u, v in pairs:

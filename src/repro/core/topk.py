@@ -4,6 +4,14 @@ Both case studies of the paper are top-k queries: the protein study reports
 the top-20 most similar protein pairs and the top-5 proteins most similar to a
 query protein.  These helpers evaluate a SimRank estimator over a candidate
 set and return the best-scoring items.
+
+Scoring goes through :meth:`SimRankEngine.similarity_many`, so for the
+sampling-based estimator on the vectorized backend the walk bundles are
+sampled once per unique endpoint of the candidate set and reused across every
+candidate pair — a top-k-for-vertex query over ``m`` candidates costs
+``m + 1`` bundle samples instead of ``2m``.  Ranking is deterministic: ties
+are broken by candidate order (earlier candidates win), and ``k`` larger than
+the candidate set simply returns every candidate, ranked.
 """
 
 from __future__ import annotations
@@ -19,6 +27,33 @@ Vertex = Hashable
 ScoredPair = Tuple[Vertex, Vertex, float]
 ScoredVertex = Tuple[Vertex, float]
 
+#: Candidate pairs evaluated per ``similarity_many`` call by
+#: :func:`top_k_similar_pairs`.  Bounds the memory of the quadratic default
+#: candidate space (only one chunk of pairs and results is live at a time)
+#: while keeping each batch large enough to share walk bundles.
+PAIR_CHUNK_SIZE = 2048
+
+
+def rank_top_k(k: int, scores: Sequence[float]) -> List[int]:
+    """Indices of the ``k`` best scores, ties broken by candidate order.
+
+    The single tie-breaking rule of every top-k surface (these helpers and
+    the service layer), so their rankings can never diverge.
+    """
+    best = heapq.nlargest(k, enumerate(scores), key=lambda item: (item[1], -item[0]))
+    return [index for index, _ in best]
+
+
+def _chunks(iterable: Iterable, size: int) -> Iterable[list]:
+    chunk: list = []
+    for item in iterable:
+        chunk.append(item)
+        if len(chunk) >= size:
+            yield chunk
+            chunk = []
+    if chunk:
+        yield chunk
+
 
 def top_k_similar_pairs(
     engine: SimRankEngine,
@@ -31,23 +66,41 @@ def top_k_similar_pairs(
 
     ``candidate_pairs`` restricts the search (recommended — the full pair
     space is quadratic); by default all unordered pairs of distinct vertices
-    are evaluated, which is only sensible for small graphs.
+    are evaluated, which is only sensible for small graphs.  Candidate pairs
+    naming vertices outside the graph are rejected.
 
-    Returns a list of ``(u, v, score)`` sorted by decreasing score.
+    Candidates stream through :meth:`SimRankEngine.similarity_many` in
+    chunks of :data:`PAIR_CHUNK_SIZE`, so memory stays bounded by ``k`` plus
+    one chunk even on the quadratic default space, while sampling-based
+    methods still share walk bundles within each chunk (and across chunks
+    when the engine has a ``bundle_store``).
+
+    Returns a list of ``(u, v, score)`` sorted by decreasing score; ties keep
+    candidate order.
     """
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
     if candidate_pairs is None:
         candidate_pairs = combinations(engine.graph.vertices(), 2)
-    scored: List[Tuple[float, int, Vertex, Vertex]] = []
-    for counter, (u, v) in enumerate(candidate_pairs):
-        result = engine.similarity(u, v, method=method, **overrides)
-        item = (result.score, -counter, u, v)
-        if len(scored) < k:
-            heapq.heappush(scored, item)
-        elif item > scored[0]:
-            heapq.heapreplace(scored, item)
-    ranked = sorted(scored, reverse=True)
+    best: List[Tuple[float, int, Vertex, Vertex]] = []
+    counter = 0
+    for chunk in _chunks(candidate_pairs, PAIR_CHUNK_SIZE):
+        for u, v in chunk:
+            if not engine.graph.has_vertex(u) or not engine.graph.has_vertex(v):
+                raise InvalidParameterError(
+                    f"candidate pair names unknown vertices: {u!r}, {v!r}"
+                )
+        results = engine.similarity_many(chunk, method=method, **overrides)
+        for (u, v), result in zip(chunk, results):
+            # Ties break toward earlier candidates; the unique counter also
+            # keeps the heap from ever comparing vertex labels.
+            item = (result.score, -counter, u, v)
+            if len(best) < k:
+                heapq.heappush(best, item)
+            elif item > best[0]:
+                heapq.heapreplace(best, item)
+            counter += 1
+    ranked = sorted(best, reverse=True)
     return [(u, v, score) for score, _, u, v in ranked]
 
 
@@ -61,8 +114,10 @@ def top_k_similar_to(
 ) -> List[ScoredVertex]:
     """The ``k`` vertices most similar to ``query``.
 
-    ``candidates`` defaults to every other vertex of the graph.  Returns
-    ``(vertex, score)`` pairs sorted by decreasing score.
+    ``candidates`` defaults to every other vertex of the graph; the query
+    vertex itself is always excluded, and candidates outside the graph are
+    rejected up front.  Returns ``(vertex, score)`` pairs sorted by
+    decreasing score; ties keep candidate order.
     """
     if k < 1:
         raise InvalidParameterError(f"k must be >= 1, got {k}")
@@ -70,15 +125,19 @@ def top_k_similar_to(
         raise InvalidParameterError(f"query vertex {query!r} is not in the graph")
     if candidates is None:
         candidates = [v for v in engine.graph.vertices() if v != query]
-    scored: List[Tuple[float, int, Vertex]] = []
-    for counter, vertex in enumerate(candidates):
-        if vertex == query:
-            continue
-        result = engine.similarity(query, vertex, method=method, **overrides)
-        item = (result.score, -counter, vertex)
-        if len(scored) < k:
-            heapq.heappush(scored, item)
-        elif item > scored[0]:
-            heapq.heapreplace(scored, item)
-    ranked = sorted(scored, reverse=True)
-    return [(vertex, score) for score, _, vertex in ranked]
+    else:
+        kept = []
+        for vertex in candidates:
+            if vertex == query:
+                continue
+            if not engine.graph.has_vertex(vertex):
+                raise InvalidParameterError(
+                    f"candidate vertex {vertex!r} is not in the graph"
+                )
+            kept.append(vertex)
+        candidates = kept
+    results = engine.similarity_many(
+        [(query, vertex) for vertex in candidates], method=method, **overrides
+    )
+    scores = [result.score for result in results]
+    return [(candidates[i], scores[i]) for i in rank_top_k(k, scores)]

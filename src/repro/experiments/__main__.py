@@ -34,7 +34,9 @@ from repro.experiments.param_n import format_param_n_results, run_param_n_experi
 from repro.experiments.report import format_dataset_summary
 from repro.experiments.scalability import (
     format_scalability_results,
+    format_service_topk_results,
     run_scalability_experiment,
+    run_service_topk_experiment,
 )
 
 
@@ -90,6 +92,16 @@ def _run_scalability(quick: bool) -> str:
     return format_scalability_results(results)
 
 
+def _run_service(quick: bool) -> str:
+    results = run_service_topk_experiment(
+        edge_counts=(1500,) if quick else (1500, 4500, 7500),
+        num_queries=2 if quick else 3,
+        num_candidates=60 if quick else 150,
+        num_walks=300 if quick else 1000,
+    )
+    return format_service_topk_results(results)
+
+
 def _run_case_ppi(quick: bool) -> str:
     result = run_ppi_case_study(k=10 if quick else 20, num_walks=200 if quick else 400)
     return format_ppi_case_study(result)
@@ -117,6 +129,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "accuracy": _run_accuracy,
     "param-n": _run_param_n,
     "scalability": _run_scalability,
+    "service": _run_service,
     "case-ppi": _run_case_ppi,
     "case-er": _run_case_er,
 }

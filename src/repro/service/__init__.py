@@ -1,0 +1,36 @@
+"""Serving layer: batched, sharded similarity queries with a bounded bundle store.
+
+The service subsystem turns the :class:`~repro.core.engine.SimRankEngine`
+into a servable system:
+
+* :mod:`repro.service.service` — :class:`SimilarityService`, the front end
+  accepting pair / top-k-pairs / top-k-for-vertex queries and coalescing
+  concurrent submissions into batches that share walk bundles.
+* :mod:`repro.service.sharding` — :class:`ShardedWalkSampler`, deterministic
+  sharded parallel walk sampling over a serial / thread / process executor.
+* :mod:`repro.service.bundle_store` — :class:`WalkBundleStore`, the
+  LRU-bounded walk-bundle store with hit/miss/eviction stats and
+  graph-version invalidation.
+* :mod:`repro.service.runner` — the JSON-lines request runner behind
+  ``python -m repro.service``.
+"""
+
+from repro.service.bundle_store import BundleStoreStats, WalkBundleStore
+from repro.service.service import (
+    PairQuery,
+    SimilarityService,
+    TopKPairsQuery,
+    TopKVertexQuery,
+)
+from repro.service.sharding import EXECUTORS, ShardedWalkSampler
+
+__all__ = [
+    "BundleStoreStats",
+    "WalkBundleStore",
+    "PairQuery",
+    "SimilarityService",
+    "TopKPairsQuery",
+    "TopKVertexQuery",
+    "EXECUTORS",
+    "ShardedWalkSampler",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.service`` — the JSON-lines similarity query runner."""
+
+import sys
+
+from repro.service.runner import run
+
+if __name__ == "__main__":
+    sys.exit(run())

@@ -1,0 +1,209 @@
+"""JSON-lines request runner behind ``python -m repro.service``.
+
+Reads one JSON request per line, answers them through a
+:class:`~repro.service.service.SimilarityService` (all requests are submitted
+up front, so they coalesce into batches and share walk bundles), and writes
+one JSON response per line in request order.
+
+Request shapes (``method`` is optional, default ``"sampling"``; ``id`` is an
+optional opaque value echoed into the response)::
+
+    {"op": "pair", "u": "v1", "v": "v2"}
+    {"op": "top_k", "query": "v1", "k": 5, "candidates": ["v2", "v3"]}
+    {"op": "top_k_pairs", "k": 3, "pairs": [["v1", "v2"], ["v2", "v3"]]}
+
+Responses mirror the request ``op``; a failed request yields
+``{"op": ..., "error": "..."}`` without aborting the rest of the stream.
+
+Example::
+
+    printf '%s\n' '{"op": "pair", "u": "v1", "v": "v2"}' \
+        '{"op": "top_k", "query": "v1", "k": 3}' \
+        | python -m repro.service --graph example --seed 7
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import IO, List, Optional
+
+from repro.datasets.registry import load_dataset
+from repro.graph.io import read_edge_list
+from repro.graph.uncertain_graph import UncertainGraph, example_graph
+from repro.service.bundle_store import DEFAULT_BUDGET_BYTES
+from repro.service.service import (
+    PairQuery,
+    SimilarityService,
+    TopKPairsQuery,
+    TopKVertexQuery,
+)
+from repro.service.sharding import DEFAULT_SHARD_SIZE, EXECUTORS
+
+
+def _build_graph(args: argparse.Namespace) -> UncertainGraph:
+    if args.edges is not None:
+        return read_edge_list(args.edges)
+    if args.graph == "example":
+        return example_graph()
+    return load_dataset(args.graph)
+
+
+def _require(record: dict, field: str):
+    try:
+        return record[field]
+    except KeyError:
+        raise ValueError(f"missing required field {field!r}") from None
+
+
+def _parse_query(record: dict):
+    op = record.get("op")
+    method = record.get("method", "sampling")
+    if op == "pair":
+        return PairQuery(_require(record, "u"), _require(record, "v"), method=method)
+    if op == "top_k":
+        candidates = record.get("candidates")
+        return TopKVertexQuery(
+            _require(record, "query"),
+            int(_require(record, "k")),
+            tuple(candidates) if candidates is not None else None,
+            method=method,
+        )
+    if op == "top_k_pairs":
+        pairs = record.get("pairs")
+        return TopKPairsQuery(
+            int(_require(record, "k")),
+            tuple((u, v) for u, v in pairs) if pairs is not None else None,
+            method=method,
+        )
+    raise ValueError(f"unknown op {op!r}; expected pair, top_k or top_k_pairs")
+
+
+def _render_response(record: dict, query, outcome) -> dict:
+    response = {"op": record.get("op")}
+    if "id" in record:
+        response["id"] = record["id"]
+    if isinstance(query, PairQuery):
+        response.update(u=query.u, v=query.v, score=outcome.score)
+    elif isinstance(query, TopKVertexQuery):
+        response.update(
+            query=query.query,
+            results=[[vertex, score] for vertex, score in outcome],
+        )
+    else:
+        response["results"] = [[u, v, score] for u, v, score in outcome]
+    return response
+
+
+def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
+        stdout: Optional[IO[str]] = None, stderr: Optional[IO[str]] = None) -> int:
+    """Entry point of ``python -m repro.service``."""
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    stderr = stderr if stderr is not None else sys.stderr
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Serve JSON-lines similarity queries over an uncertain graph.",
+    )
+    parser.add_argument(
+        "--graph",
+        default="example",
+        help="dataset name from the registry, or 'example' (default)",
+    )
+    parser.add_argument(
+        "--edges", default=None, help="load the graph from a weighted edge-list file"
+    )
+    parser.add_argument("--input", default="-", help="requests file ('-' = stdin)")
+    parser.add_argument("--output", default="-", help="responses file ('-' = stdout)")
+    parser.add_argument("--seed", type=int, default=7, help="deterministic sampling seed")
+    parser.add_argument("--decay", type=float, default=0.6)
+    parser.add_argument("--iterations", type=int, default=5)
+    parser.add_argument("--num-walks", type=int, default=1000)
+    parser.add_argument("--shard-size", type=int, default=DEFAULT_SHARD_SIZE)
+    parser.add_argument("--workers", type=int, default=1)
+    parser.add_argument("--executor", choices=EXECUTORS, default="serial")
+    parser.add_argument(
+        "--store-budget-mb",
+        type=float,
+        default=DEFAULT_BUDGET_BYTES / (1024 * 1024),
+        help="walk-bundle store budget in MiB (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--stats", action="store_true", help="print service stats to stderr at the end"
+    )
+    args = parser.parse_args(argv)
+
+    try:
+        graph = _build_graph(args)
+    except Exception as error:
+        print(f"error: could not load graph: {error}", file=stderr)
+        return 2
+
+    if args.input == "-":
+        lines = stdin.read().splitlines()
+    else:
+        with open(args.input, "r", encoding="utf-8") as handle:
+            lines = handle.read().splitlines()
+
+    budget = None if args.store_budget_mb == 0 else int(args.store_budget_mb * 1024 * 1024)
+    responses: List[str] = []
+    with SimilarityService(
+        graph,
+        decay=args.decay,
+        iterations=args.iterations,
+        num_walks=args.num_walks,
+        seed=args.seed,
+        shard_size=args.shard_size,
+        num_workers=args.workers,
+        executor=args.executor,
+        store_budget_bytes=budget,
+    ) as service:
+        submissions = []
+        for line in lines:
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                record = json.loads(line)
+            except Exception as error:
+                submissions.append(({}, None, str(error)))
+                continue
+            if not isinstance(record, dict):
+                submissions.append(({}, None, "request must be a JSON object"))
+                continue
+            try:
+                query = _parse_query(record)
+            except Exception as error:
+                submissions.append((record, None, str(error)))
+                continue
+            submissions.append((record, query, service.submit(query)))
+
+        for record, query, outcome in submissions:
+            if query is None:
+                response = {"op": record.get("op"), "error": outcome}
+                if "id" in record:
+                    response["id"] = record["id"]
+                responses.append(json.dumps(response))
+                continue
+            try:
+                result = outcome.result()
+            except Exception as error:
+                response = {"op": record.get("op"), "error": str(error)}
+                if "id" in record:
+                    response["id"] = record["id"]
+                responses.append(json.dumps(response))
+                continue
+            responses.append(json.dumps(_render_response(record, query, result)))
+
+        if args.stats:
+            print(json.dumps(service.service_stats(), indent=2), file=stderr)
+
+    text = "\n".join(responses) + ("\n" if responses else "")
+    if args.output == "-":
+        stdout.write(text)
+    else:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            handle.write(text)
+    return 0

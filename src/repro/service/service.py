@@ -1,0 +1,595 @@
+"""Batched similarity query service on top of :class:`SimRankEngine`.
+
+:class:`SimilarityService` is the serving layer of the library: callers
+submit pair, top-k-pairs, and top-k-for-vertex queries; a background worker
+drains the submission queue into batches, collects every walk bundle the
+batch needs, samples the *missing* ones in one sharded vectorized sweep
+(:class:`~repro.service.sharding.ShardedWalkSampler`), and answers all
+queries of the batch from the shared
+:class:`~repro.service.bundle_store.WalkBundleStore`.  Bundles persist
+across batches until LRU eviction or graph mutation, so a sustained workload
+converges to sampling each hot endpoint once.
+
+Because the sampler derives every walk from ``(seed, vertex, twin, shard)``
+world keys, the service's answers are bit-identical across executor kinds
+and worker counts, and an evicted-then-resampled bundle reproduces exactly.
+
+Queries default to the paper's Sampling estimator (the one that benefits
+from bundle reuse); any other engine method is accepted and routed through
+the engine / top-k helpers as a per-query fallback sharing the engine caches.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import queue
+import threading
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.batch_walks import (
+    meeting_probabilities_against_many,
+    meeting_probabilities_from_matrices,
+)
+from repro.core.engine import SimRankEngine
+from repro.core.simrank import (
+    DEFAULT_DECAY,
+    DEFAULT_ITERATIONS,
+    SimRankResult,
+    simrank_from_meeting_probabilities,
+)
+from repro.core.sampling import DEFAULT_NUM_WALKS
+from repro.core.topk import (
+    PAIR_CHUNK_SIZE,
+    rank_top_k,
+    top_k_similar_pairs,
+    top_k_similar_to,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.service.bundle_store import DEFAULT_BUDGET_BYTES, WalkBundleStore
+from repro.service.sharding import DEFAULT_SHARD_SIZE, ShardedWalkSampler
+from repro.utils.errors import InvalidParameterError
+
+Vertex = Hashable
+ScoredPair = Tuple[Vertex, Vertex, float]
+ScoredVertex = Tuple[Vertex, float]
+
+
+@dataclass(frozen=True)
+class PairQuery:
+    """Similarity of one vertex pair."""
+
+    u: Vertex
+    v: Vertex
+    method: str = "sampling"
+
+
+@dataclass(frozen=True)
+class TopKPairsQuery:
+    """The ``k`` most similar pairs of a candidate pair set."""
+
+    k: int
+    candidate_pairs: Optional[Tuple[Tuple[Vertex, Vertex], ...]] = None
+    method: str = "sampling"
+
+
+@dataclass(frozen=True)
+class TopKVertexQuery:
+    """The ``k`` vertices most similar to ``query``."""
+
+    query: Vertex
+    k: int
+    candidates: Optional[Tuple[Vertex, ...]] = None
+    method: str = "sampling"
+
+
+Query = Union[PairQuery, TopKPairsQuery, TopKVertexQuery]
+
+_SHUTDOWN = object()
+
+#: Plan sentinel: a TopKPairsQuery over the default (all-pairs) space, which
+#: is streamed in chunks instead of being planned as one batch.
+_ALL_PAIRS = object()
+
+
+@dataclass
+class ServiceStats:
+    """Aggregate counters of one service instance."""
+
+    queries: int = 0
+    batches: int = 0
+    largest_batch: int = 0
+    queries_by_kind: Dict[str, int] = field(default_factory=dict)
+
+    def record_batch(self, batch: Sequence[Query]) -> None:
+        self.batches += 1
+        self.queries += len(batch)
+        self.largest_batch = max(self.largest_batch, len(batch))
+        for query in batch:
+            kind = type(query).__name__
+            self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + 1
+
+
+class SimilarityService:
+    """Batched, sharded similarity query front end for one uncertain graph.
+
+    Parameters
+    ----------
+    graph:
+        The uncertain graph to serve.  Mutations between batches are picked
+        up automatically (the bundle store is invalidated on version change).
+    decay, iterations, num_walks:
+        Engine parameters; ``num_walks`` is fixed service-wide so that every
+        query of a batch shares the same bundles.
+    seed:
+        Base seed of the deterministic sharded sampling scheme (and of the
+        engine used by non-sampling fallback methods).
+    shard_size, num_workers, executor:
+        Sharding scheme and worker pool — see
+        :class:`~repro.service.sharding.ShardedWalkSampler`.  ``shard_size``
+        affects the sampled walks; ``num_workers`` / ``executor`` never do.
+    store_budget_bytes:
+        Byte budget of the walk-bundle store (``None`` = unbounded).
+    max_batch_size, batch_wait_seconds:
+        Coalescing knobs of the batch worker: a batch closes when it reaches
+        ``max_batch_size`` queries or the wait window expires with an empty
+        queue.
+
+    Use as a context manager (or call :meth:`close`) to stop the worker
+    thread and the sampler pool.
+    """
+
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        decay: float = DEFAULT_DECAY,
+        iterations: int = DEFAULT_ITERATIONS,
+        num_walks: int = DEFAULT_NUM_WALKS,
+        seed: Optional[int] = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        num_workers: int = 1,
+        executor: str = "serial",
+        store_budget_bytes: Optional[int] = DEFAULT_BUDGET_BYTES,
+        max_batch_size: int = 64,
+        batch_wait_seconds: float = 0.002,
+    ) -> None:
+        if max_batch_size < 1:
+            raise InvalidParameterError(
+                f"max_batch_size must be >= 1, got {max_batch_size}"
+            )
+        if batch_wait_seconds < 0:
+            raise InvalidParameterError(
+                f"batch_wait_seconds must be >= 0, got {batch_wait_seconds}"
+            )
+        self.graph = graph
+        self.store = WalkBundleStore(store_budget_bytes)
+        self.sampler = ShardedWalkSampler(
+            seed=seed,
+            shard_size=shard_size,
+            num_workers=num_workers,
+            executor=executor,
+        )
+        self.engine = SimRankEngine(
+            graph,
+            decay=decay,
+            iterations=iterations,
+            num_walks=num_walks,
+            seed=seed,
+            bundle_store=self.store,
+        )
+        self.max_batch_size = max_batch_size
+        self.batch_wait_seconds = batch_wait_seconds
+        self.stats = ServiceStats()
+        self._queue: "queue.Queue" = queue.Queue()
+        self._closed = False
+        self._lifecycle_lock = threading.Lock()
+        self._worker = threading.Thread(
+            target=self._worker_loop, name="similarity-service", daemon=True
+        )
+        self._worker.start()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def close(self) -> None:
+        """Drain pending queries, then stop the worker and the sampler pool."""
+        with self._lifecycle_lock:
+            if self._closed:
+                already_closed = True
+            else:
+                already_closed = False
+                self._closed = True
+                # Under the lock, no submit() can interleave between the flag
+                # and the sentinel, so the sentinel is the queue's last item.
+                self._queue.put(_SHUTDOWN)
+        if already_closed:
+            return
+        self._worker.join()
+        # Defensive: nothing should follow the sentinel (see above), but a
+        # stranded future must never hang its caller.
+        while True:
+            try:
+                item = self._queue.get_nowait()
+            except queue.Empty:
+                break
+            if item is not _SHUTDOWN:
+                _resolve(item[1], error=RuntimeError("service is closed"))
+        self.sampler.close()
+
+    def __enter__(self) -> "SimilarityService":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- submission -----------------------------------------------------------
+
+    def submit(self, query: Query) -> "Future":
+        """Enqueue a query; concurrent submissions coalesce into one batch.
+
+        Returns a :class:`concurrent.futures.Future` resolving to a
+        :class:`SimRankResult` (pair queries), ``[(u, v, score)]``
+        (top-k-pairs) or ``[(vertex, score)]`` (top-k-for-vertex).
+        """
+        if not isinstance(query, (PairQuery, TopKPairsQuery, TopKVertexQuery)):
+            raise InvalidParameterError(
+                f"unknown query type {type(query).__name__!r}"
+            )
+        future: "Future" = Future()
+        with self._lifecycle_lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            self._queue.put((query, future))
+        return future
+
+    def pair(self, u: Vertex, v: Vertex, method: str = "sampling") -> SimRankResult:
+        """Blocking single-pair similarity query."""
+        return self.submit(PairQuery(u, v, method=method)).result()
+
+    def top_k_pairs(
+        self,
+        k: int,
+        candidate_pairs: Optional[Sequence[Tuple[Vertex, Vertex]]] = None,
+        method: str = "sampling",
+    ) -> List[ScoredPair]:
+        """Blocking top-k-pairs query."""
+        pairs = (
+            tuple(tuple(pair) for pair in candidate_pairs)
+            if candidate_pairs is not None
+            else None
+        )
+        return self.submit(TopKPairsQuery(k, pairs, method=method)).result()
+
+    def top_k_for_vertex(
+        self,
+        query: Vertex,
+        k: int,
+        candidates: Optional[Sequence[Vertex]] = None,
+        method: str = "sampling",
+    ) -> List[ScoredVertex]:
+        """Blocking top-k-for-vertex query."""
+        chosen = tuple(candidates) if candidates is not None else None
+        return self.submit(TopKVertexQuery(query, k, chosen, method=method)).result()
+
+    def service_stats(self) -> Dict[str, object]:
+        """Batching and bundle-store counters, JSON-friendly."""
+        return {
+            "queries": self.stats.queries,
+            "batches": self.stats.batches,
+            "largest_batch": self.stats.largest_batch,
+            "queries_by_kind": dict(self.stats.queries_by_kind),
+            "store": self.store.stats.as_dict(),
+            "store_entries": len(self.store),
+            "store_bytes": self.store.current_bytes,
+        }
+
+    # -- the batch worker ------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while True:
+            item = self._queue.get()
+            if item is _SHUTDOWN:
+                return
+            batch = [item]
+            # Coalesce: keep pulling until the queue stays empty for the wait
+            # window or the batch is full.
+            shutdown = False
+            while len(batch) < self.max_batch_size:
+                try:
+                    item = self._queue.get(timeout=self.batch_wait_seconds)
+                except queue.Empty:
+                    break
+                if item is _SHUTDOWN:
+                    shutdown = True
+                    break
+                batch.append(item)
+            try:
+                self._process_batch(batch)
+            except Exception as error:
+                # The worker must survive anything — a dead worker would hang
+                # every pending and future caller.  _process_batch isolates
+                # per-query errors; whatever still escapes fails the batch.
+                for _, future in batch:
+                    _resolve(future, error=error)
+            if shutdown:
+                return
+
+    def _process_batch(self, batch: List[Tuple[Query, "Future"]]) -> None:
+        self.stats.record_batch([query for query, _ in batch])
+        try:
+            csr = CSRGraph.from_uncertain(self.graph)
+            self.store.sync_version((id(self.graph), self.graph.version))
+        except Exception as error:  # pragma: no cover - defensive
+            for _, future in batch:
+                _resolve(future, error=error)
+            return
+
+        # Validate and plan every query, isolating per-query failures.
+        plans: List[Tuple[Query, "Future", object]] = []
+        needs: List[Tuple[int, bool]] = []
+        seen_needs = set()
+
+        def need(vertex_index: int, twin: bool) -> None:
+            request = (vertex_index, twin)
+            if request not in seen_needs:
+                seen_needs.add(request)
+                needs.append(request)
+
+        for query, future in batch:
+            try:
+                plan = self._plan(query, csr, need)
+            except Exception as error:
+                _resolve(future, error=error)
+                continue
+            plans.append((query, future, plan))
+
+        try:
+            bundles = self._ensure_bundles(csr, needs)
+        except Exception as error:
+            # e.g. a broken worker pool: fail the whole batch, keep serving.
+            for _, future, _ in plans:
+                _resolve(future, error=error)
+            return
+
+        for query, future, plan in plans:
+            try:
+                _resolve(future, result=self._answer(query, csr, plan, bundles))
+            except Exception as error:
+                _resolve(future, error=error)
+
+    # -- planning and answering ------------------------------------------------
+
+    def _plan(self, query: Query, csr: CSRGraph, need) -> object:
+        """Resolve vertices, register bundle needs, and return an answer plan."""
+        if query.method != "sampling":
+            return None  # engine fallback; no bundles needed
+        if isinstance(query, PairQuery):
+            u_index = csr.index_of(query.u)
+            v_index = csr.index_of(query.v)
+            need(u_index, False)
+            need(v_index, u_index == v_index)
+            return (u_index, v_index)
+        if isinstance(query, TopKVertexQuery):
+            if query.k < 1:
+                raise InvalidParameterError(f"k must be >= 1, got {query.k}")
+            query_index = csr.index_of(query.query)
+            if query.candidates is None:
+                candidates = [v for v in csr.vertices if v != query.query]
+            else:
+                candidates = [v for v in query.candidates if v != query.query]
+            candidate_indices = [csr.index_of(v) for v in candidates]
+            need(query_index, False)
+            for index in candidate_indices:
+                need(index, False)
+            return (query_index, candidates, candidate_indices)
+        if query.k < 1:
+            raise InvalidParameterError(f"k must be >= 1, got {query.k}")
+        if query.candidate_pairs is None:
+            # The quadratic default pair space is streamed chunk by chunk in
+            # _answer rather than planned here: registering a bundle need for
+            # every vertex would pin all bundles live at once, defeating both
+            # the store's LRU budget and the chunked top_k_similar_pairs.
+            return _ALL_PAIRS
+        pairs = list(query.candidate_pairs)
+        pair_indices = []
+        for u, v in pairs:
+            u_index = csr.index_of(u)
+            v_index = csr.index_of(v)
+            need(u_index, False)
+            need(v_index, u_index == v_index)
+            pair_indices.append((u_index, v_index))
+        return (pairs, pair_indices)
+
+    def _ensure_bundles(
+        self, csr: CSRGraph, needs: Sequence[Tuple[int, bool]]
+    ) -> Dict[Tuple[int, bool], np.ndarray]:
+        """Serve needs from the store; sample all misses in one sharded sweep.
+
+        The returned dict holds direct references for the duration of the
+        batch, so concurrent evictions cannot pull a bundle out from under a
+        query that planned on it.
+        """
+        iterations = self.engine.iterations
+        num_walks = self.engine.num_walks
+        bundles: Dict[Tuple[int, bool], np.ndarray] = {}
+        missing: List[Tuple[int, bool]] = []
+        for request in needs:
+            cached = self.store.get(
+                self.sampler.store_key(request[0], request[1], iterations, num_walks)
+            )
+            if cached is None:
+                missing.append(request)
+            else:
+                bundles[request] = cached
+        if missing:
+            sampled = self.sampler.sample_bundles(csr, missing, iterations, num_walks)
+            for request, bundle in sampled.items():
+                self.store.put(
+                    self.sampler.store_key(request[0], request[1], iterations, num_walks),
+                    bundle,
+                )
+                bundles[request] = bundle
+        return bundles
+
+    def _score_from_meetings(self, meetings: Sequence[float]) -> float:
+        return simrank_from_meeting_probabilities(meetings, self.engine.decay)
+
+    def _answer(
+        self,
+        query: Query,
+        csr: CSRGraph,
+        plan: object,
+        bundles: Dict[Tuple[int, bool], np.ndarray],
+    ) -> object:
+        if plan is None:
+            return self._answer_fallback(query)
+        iterations = self.engine.iterations
+        if isinstance(query, PairQuery):
+            u_index, v_index = plan
+            same = u_index == v_index
+            meetings = meeting_probabilities_from_matrices(
+                bundles[(u_index, False)],
+                bundles[(v_index, same)],
+                iterations,
+                same,
+            )
+            return SimRankResult(
+                u=query.u,
+                v=query.v,
+                score=self._score_from_meetings(meetings),
+                meeting_probabilities=tuple(meetings),
+                decay=self.engine.decay,
+                iterations=iterations,
+                method="sampling",
+                details={
+                    "num_walks": self.engine.num_walks,
+                    "backend": "vectorized",
+                    "shared_bundles": True,
+                    "service": True,
+                },
+            )
+        if isinstance(query, TopKVertexQuery):
+            query_index, candidates, candidate_indices = plan
+            if not candidates:
+                return []
+            tails = meeting_probabilities_against_many(
+                bundles[(query_index, False)],
+                [bundles[(index, False)] for index in candidate_indices],
+                iterations,
+            )
+            # m(0) = 0 for every candidate (the query itself is excluded).
+            # Combined with the same scalar formula as pair queries so that a
+            # top-k entry and the corresponding pair query agree bit-for-bit.
+            scores = [
+                self._score_from_meetings([0.0] + row.tolist()) for row in tails
+            ]
+            order = rank_top_k(query.k, scores)
+            return [(candidates[index], scores[index]) for index in order]
+        if plan is _ALL_PAIRS:
+            return self._answer_all_pairs_streamed(query, csr)
+        pairs, pair_indices = plan
+        scores = []
+        for u_index, v_index in pair_indices:
+            same = u_index == v_index
+            meetings = meeting_probabilities_from_matrices(
+                bundles[(u_index, False)],
+                bundles[(v_index, same)],
+                iterations,
+                same,
+            )
+            scores.append(self._score_from_meetings(meetings))
+        order = rank_top_k(query.k, scores)
+        return [(pairs[index][0], pairs[index][1], scores[index]) for index in order]
+
+    def _answer_all_pairs_streamed(
+        self, query: TopKPairsQuery, csr: CSRGraph
+    ) -> List[ScoredPair]:
+        """Top-k over the default quadratic pair space, chunk by chunk.
+
+        Each chunk resolves its bundles through :meth:`_ensure_bundles` (so
+        the store's LRU budget bounds residency and repeated endpoints hit
+        the cache) and feeds a bounded heap; memory stays O(k + chunk) no
+        matter the graph size.  Tie-breaking matches :func:`rank_top_k`.
+        """
+        iterations = self.engine.iterations
+        best: List[Tuple[float, int, Vertex, Vertex]] = []
+        counter = 0
+        chunk: List[Tuple[Vertex, Vertex]] = []
+
+        def score_chunk() -> None:
+            nonlocal counter
+            needs: List[Tuple[int, bool]] = []
+            seen = set()
+            pair_indices = []
+            for u, v in chunk:
+                u_index, v_index = csr.index_of(u), csr.index_of(v)
+                for request in ((u_index, False), (v_index, False)):
+                    if request not in seen:
+                        seen.add(request)
+                        needs.append(request)
+                pair_indices.append((u_index, v_index))
+            bundles = self._ensure_bundles(csr, needs)
+            for (u, v), (u_index, v_index) in zip(chunk, pair_indices):
+                meetings = meeting_probabilities_from_matrices(
+                    bundles[(u_index, False)], bundles[(v_index, False)], iterations, False
+                )
+                item = (self._score_from_meetings(meetings), -counter, u, v)
+                if len(best) < query.k:
+                    heapq.heappush(best, item)
+                elif item > best[0]:
+                    heapq.heapreplace(best, item)
+                counter += 1
+
+        for pair in itertools.combinations(csr.vertices, 2):
+            chunk.append(pair)
+            if len(chunk) >= PAIR_CHUNK_SIZE:
+                score_chunk()
+                chunk = []
+        if chunk:
+            score_chunk()
+        ranked = sorted(best, reverse=True)
+        return [(u, v, score) for score, _, u, v in ranked]
+
+    def _answer_fallback(self, query: Query) -> object:
+        """Non-sampling methods, routed through the engine / top-k helpers."""
+        if isinstance(query, PairQuery):
+            return self.engine.similarity(query.u, query.v, method=query.method)
+        if isinstance(query, TopKVertexQuery):
+            return top_k_similar_to(
+                self.engine,
+                query.query,
+                query.k,
+                candidates=list(query.candidates) if query.candidates is not None else None,
+                method=query.method,
+            )
+        return top_k_similar_pairs(
+            self.engine,
+            query.k,
+            candidate_pairs=(
+                list(query.candidate_pairs) if query.candidate_pairs is not None else None
+            ),
+            method=query.method,
+        )
+
+
+def _resolve(future: "Future", result: object = None, error: "Exception | None" = None) -> None:
+    """Resolve a future, tolerating client-side cancellation.
+
+    Futures handed out by :meth:`SimilarityService.submit` are never marked
+    running, so clients may legitimately ``cancel()`` them at any point; a
+    cancelled (or otherwise already-settled) future must not take the batch
+    worker down with an ``InvalidStateError``.
+    """
+    if not future.set_running_or_notify_cancel():
+        return
+    try:
+        if error is not None:
+            future.set_exception(error)
+        else:
+            future.set_result(result)
+    except Exception:  # pragma: no cover - settled concurrently
+        pass

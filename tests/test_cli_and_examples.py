@@ -23,6 +23,7 @@ class TestCLI:
             "accuracy",
             "param-n",
             "scalability",
+            "service",
             "case-ppi",
             "case-er",
         } == set(EXPERIMENTS)
@@ -50,6 +51,7 @@ class TestExamples:
             "measure_comparison.py",
             "scalability_sweep.py",
             "run_all_experiments.py",
+            "service_workload.py",
         }
         assert expected <= {path.name for path in EXAMPLES_DIR.glob("*.py")}
 

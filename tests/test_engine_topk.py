@@ -190,3 +190,61 @@ class TestTopK:
             top_k_similar_to(engine, "v1", k=0)
         with pytest.raises(InvalidParameterError):
             top_k_similar_to(engine, "nope", k=2)
+
+
+class TestTopKDeterminism:
+    def test_ties_broken_by_candidate_order(self, paper_graph):
+        """Exactly tied scores keep the candidate submission order."""
+        engine = SimRankEngine(paper_graph, iterations=3)
+        # The same pair listed twice ties with itself exactly; the earlier
+        # occurrence must rank first, and repeated runs must agree.
+        candidates = [("v3", "v4"), ("v1", "v2"), ("v3", "v4")]
+        top = top_k_similar_pairs(engine, k=3, candidate_pairs=candidates, method="baseline")
+        tied = [(u, v) for u, v, _ in top if (u, v) == ("v3", "v4")]
+        assert len(tied) == 2
+        assert top == top_k_similar_pairs(
+            engine, k=3, candidate_pairs=candidates, method="baseline"
+        )
+
+    def test_similar_to_ties_keep_candidate_order(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=3)
+        top = top_k_similar_to(
+            engine, "v1", k=3, candidates=["v3", "v2", "v3"], method="baseline"
+        )
+        scores = {v: s for v, s in top}
+        # Duplicated candidate produces an exact tie; order must be stable.
+        positions = [i for i, (v, _) in enumerate(top) if v == "v3"]
+        assert len(positions) == 2
+        assert positions == sorted(positions)
+        assert scores["v3"] == pytest.approx(
+            engine.similarity("v1", "v3", method="baseline").score
+        )
+
+    def test_k_larger_than_candidate_set(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=3)
+        pairs = [("v1", "v2"), ("v2", "v3")]
+        top = top_k_similar_pairs(engine, k=10, candidate_pairs=pairs, method="baseline")
+        assert len(top) == 2
+        vertices = top_k_similar_to(engine, "v1", k=99, method="baseline")
+        assert len(vertices) == 4  # every other vertex, ranked
+
+    def test_candidate_pairs_with_unknown_vertices_rejected(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=3)
+        with pytest.raises(InvalidParameterError):
+            top_k_similar_pairs(
+                engine, k=2, candidate_pairs=[("v1", "v2"), ("v1", "ghost")]
+            )
+        with pytest.raises(InvalidParameterError):
+            top_k_similar_to(engine, "v1", k=2, candidates=["v2", "ghost"])
+
+    def test_sampling_top_k_shares_walk_bundles(self, paper_graph):
+        """Satellite: top-k routes through similarity_many, so the candidate
+        set costs one bundle per unique endpoint, not two per pair."""
+        from repro.service import WalkBundleStore
+
+        store = WalkBundleStore()
+        engine = SimRankEngine(paper_graph, num_walks=100, seed=7, bundle_store=store)
+        top = top_k_similar_to(engine, "v1", k=3, method="sampling")
+        assert len(top) == 3
+        # 4 candidates + the query vertex = 5 unique endpoints = 5 bundles.
+        assert len(store) == 5

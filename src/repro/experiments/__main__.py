@@ -5,9 +5,10 @@ Usage::
     python -m repro.experiments <experiment> [--quick]
 
 where ``<experiment>`` is one of ``datasets``, ``measures``, ``convergence``,
-``efficiency``, ``accuracy``, ``param-n``, ``scalability``, ``case-ppi``,
-``case-er`` or ``all``.  ``--quick`` shrinks the workload (fewer pairs,
-smaller sample sizes) so a full pass finishes in a couple of minutes.
+``efficiency``, ``accuracy``, ``param-n``, ``scalability``, ``service``,
+``tenancy``, ``case-ppi``, ``case-er`` or ``all``.  ``--quick`` shrinks the
+workload (fewer pairs, smaller sample sizes) so a full pass finishes in a
+couple of minutes.
 """
 
 from __future__ import annotations
@@ -38,6 +39,7 @@ from repro.experiments.scalability import (
     run_scalability_experiment,
     run_service_topk_experiment,
 )
+from repro.experiments.tenancy import format_tenancy_results, run_tenancy_experiment
 
 
 def _run_datasets(quick: bool) -> str:
@@ -102,6 +104,18 @@ def _run_service(quick: bool) -> str:
     return format_service_topk_results(results)
 
 
+def _run_tenancy(quick: bool) -> str:
+    result = run_tenancy_experiment(
+        num_tenants=3,
+        num_vertices=150 if quick else 300,
+        num_edges=450 if quick else 900,
+        num_rounds=3 if quick else 6,
+        queries_per_round=6 if quick else 12,
+        num_walks=150 if quick else 300,
+    )
+    return format_tenancy_results(result)
+
+
 def _run_case_ppi(quick: bool) -> str:
     result = run_ppi_case_study(k=10 if quick else 20, num_walks=200 if quick else 400)
     return format_ppi_case_study(result)
@@ -130,6 +144,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "param-n": _run_param_n,
     "scalability": _run_scalability,
     "service": _run_service,
+    "tenancy": _run_tenancy,
     "case-ppi": _run_case_ppi,
     "case-er": _run_case_er,
 }

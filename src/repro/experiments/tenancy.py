@@ -1,0 +1,219 @@
+"""Multi-tenant serving under a sustained mixed mutate+query workload.
+
+The production regime the tenancy layer targets: one
+:class:`~repro.service.service.SimilarityService` process hosts several
+graphs, each receiving a stream of similarity queries *while* mutation
+batches keep arriving.  This experiment measures what that costs:
+
+* per-round query latency (mean and worst) across all tenants while one
+  tenant per round ingests a :class:`~repro.service.tenancy.MutationLog`;
+* the mutation-ingest time itself, split into the incremental-snapshot
+  regime actually used and a full re-freeze of the same graph, timed
+  separately for comparison;
+* the end-of-run per-tenant bundle-store hit rates — mutations invalidate
+  only the mutated tenant, so the other tenants' stores stay warm and
+  their hit rates keep climbing.
+
+Run it from the CLI with ``python -m repro.experiments tenancy [--quick]``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.experiments.report import format_table
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_uncertain
+from repro.service.service import PairQuery, SimilarityService
+from repro.service.tenancy import GraphRegistry, MutationLog, TenantConfig
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class TenancyRound:
+    """Counters of one round of the mixed workload."""
+
+    round_index: int
+    mutated_tenant: str
+    mutation_ops: int
+    dirty_rows: int
+    ingest_ms: float
+    snapshot_ms: float
+    full_refreeze_ms: float
+    queries: int
+    mean_query_ms: float
+    max_query_ms: float
+
+
+@dataclass
+class TenancyResult:
+    """The whole run: per-round rows plus end-of-run tenant hit rates."""
+
+    tenants: List[str]
+    rounds: List[TenancyRound]
+    hit_rates: Dict[str, float]
+    mean_incremental_ms: float
+    mean_full_refreeze_ms: float
+
+
+def _random_mutation_log(
+    graph, rng, num_ops: int, tenant_tag: str, round_index: int
+) -> MutationLog:
+    """A mixed add/remove/update batch against the current graph state."""
+    log = MutationLog()
+    vertices = graph.vertices()
+    arcs = list(graph.arcs())
+    for position in range(num_ops):
+        kind = position % 3
+        if kind == 0 and arcs:
+            u, v, probability = arcs.pop(int(rng.integers(len(arcs))))
+            log.update_probability(u, v, max(0.05, min(1.0, probability * 0.9)))
+        elif kind == 1 and len(arcs) > 1:
+            u, v, _ = arcs.pop(int(rng.integers(len(arcs))))
+            log.remove_edge(u, v)
+        else:
+            # A brand-new vertex per round keeps add_edge collision-free.
+            u = vertices[int(rng.integers(len(vertices)))]
+            v = f"ingest-{tenant_tag}-{round_index}-{position}"
+            log.add_edge(u, v, float(rng.uniform(0.2, 1.0)))
+    return log
+
+
+def run_tenancy_experiment(
+    num_tenants: int = 3,
+    num_vertices: int = 300,
+    num_edges: int = 900,
+    num_rounds: int = 6,
+    queries_per_round: int = 12,
+    mutations_per_round: int = 5,
+    num_walks: int = 300,
+    iterations: int = 4,
+    seed: int = 43,
+) -> TenancyResult:
+    """Serve ``num_tenants`` graphs under interleaved queries and mutations.
+
+    Each round mutates one tenant (round-robin) through the service's ingest
+    queue while pair queries are answered for *every* tenant; query latency
+    is measured per blocking call.  For the mutated graph the experiment
+    also times a full CSR re-freeze of the same post-mutation state, so the
+    incremental-vs-full comparison is measured on the live workload rather
+    than a synthetic one.
+    """
+    rng = ensure_rng(seed)
+    registry = GraphRegistry(
+        defaults=TenantConfig(iterations=iterations, num_walks=num_walks)
+    )
+    names = [f"tenant-{index}" for index in range(num_tenants)]
+    for offset, name in enumerate(names):
+        registry.create(
+            name,
+            rmat_uncertain(num_vertices, num_edges, rng=rng),
+            seed=seed + offset,
+        )
+
+    rounds: List[TenancyRound] = []
+    with SimilarityService(registry=registry, default_graph=names[0]) as service:
+        for round_index in range(num_rounds):
+            mutated = names[round_index % num_tenants]
+            tenant = registry.get(mutated)
+            log = _random_mutation_log(
+                tenant.graph, rng, mutations_per_round, mutated, round_index
+            )
+
+            start = time.perf_counter()
+            report = service.mutate(log, graph=mutated)
+            ingest_ms = 1000.0 * (time.perf_counter() - start)
+
+            # Reference cost: full re-freeze of the same post-mutation graph
+            # (built outside the snapshot cache so the service is unaffected).
+            start = time.perf_counter()
+            CSRGraph._build(tenant.graph)
+            full_ms = 1000.0 * (time.perf_counter() - start)
+
+            # Queries draw endpoints from a hot prefix of each tenant's
+            # vertex set, so unmutated tenants keep hitting their warm
+            # bundle stores across rounds.
+            latencies: List[float] = []
+            for query_index in range(queries_per_round):
+                name = names[query_index % num_tenants]
+                graph = registry.get(name).graph
+                hot = graph.vertices()[: max(8, num_vertices // 10)]
+                u = hot[int(rng.integers(len(hot)))]
+                v = hot[int(rng.integers(len(hot)))]
+                start = time.perf_counter()
+                service.submit(PairQuery(u, v, graph=name)).result()
+                latencies.append(1000.0 * (time.perf_counter() - start))
+
+            rounds.append(
+                TenancyRound(
+                    round_index=round_index,
+                    mutated_tenant=mutated,
+                    mutation_ops=report.ops,
+                    dirty_rows=report.dirty_rows,
+                    ingest_ms=ingest_ms,
+                    snapshot_ms=report.snapshot_ms,
+                    full_refreeze_ms=full_ms,
+                    queries=len(latencies),
+                    mean_query_ms=sum(latencies) / len(latencies),
+                    max_query_ms=max(latencies),
+                )
+            )
+
+        hit_rates = {
+            name: tenant_stats["store"]["hit_rate"]
+            for name, tenant_stats in service.service_stats()["tenants"].items()
+        }
+    return TenancyResult(
+        tenants=names,
+        rounds=rounds,
+        hit_rates=hit_rates,
+        mean_incremental_ms=sum(r.snapshot_ms for r in rounds) / len(rounds),
+        mean_full_refreeze_ms=sum(r.full_refreeze_ms for r in rounds) / len(rounds),
+    )
+
+
+def format_tenancy_results(result: TenancyResult) -> str:
+    """Render the mixed-workload run as a table plus summary lines."""
+    headers = (
+        "round",
+        "mutated",
+        "ops",
+        "dirty rows",
+        "ingest (ms)",
+        "snapshot (ms)",
+        "full re-freeze (ms)",
+        "queries",
+        "mean query (ms)",
+        "max query (ms)",
+    )
+    rows = [
+        (
+            entry.round_index,
+            entry.mutated_tenant,
+            entry.mutation_ops,
+            entry.dirty_rows,
+            entry.ingest_ms,
+            entry.snapshot_ms,
+            entry.full_refreeze_ms,
+            entry.queries,
+            entry.mean_query_ms,
+            entry.max_query_ms,
+        )
+        for entry in result.rounds
+    ]
+    lines = [format_table(headers, rows, precision=2)]
+    lines.append("")
+    lines.append(
+        "mean snapshot rebuild (incremental): "
+        f"{result.mean_incremental_ms:.2f} ms vs full re-freeze "
+        f"{result.mean_full_refreeze_ms:.2f} ms"
+    )
+    lines.append(
+        "end-of-run store hit rates: "
+        + ", ".join(
+            f"{name}={rate:.2f}" for name, rate in sorted(result.hit_rates.items())
+        )
+    )
+    return "\n".join(lines)

@@ -19,11 +19,23 @@ Snapshots are cached on the source graph keyed by its mutation
 :attr:`~repro.graph.uncertain_graph.UncertainGraph.version`, so repeated
 queries against an unchanged graph reuse one snapshot and mutations
 transparently invalidate it.
+
+Two rebuild paths exist after a mutation:
+
+* :meth:`CSRGraph.from_uncertain` — the full re-freeze, iterating every arc
+  of the dict-of-dict graph (O(n + m) Python-level work).
+* :meth:`CSRGraph.from_uncertain_incremental` — given the previous snapshot
+  and the set of *dirty* source vertices (those whose out-adjacency changed),
+  copies every untouched adjacency row straight out of the previous arrays
+  with O(#dirty) slice assignments and only walks the dicts of the dirty
+  rows.  This is the path the mutation-ingest layer
+  (:mod:`repro.service.tenancy`) uses to keep per-mutation snapshot cost
+  proportional to the mutation batch, not the graph.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, List, Tuple
+from typing import Dict, Hashable, Iterable, List, Tuple
 
 import numpy as np
 
@@ -88,6 +100,113 @@ class CSRGraph:
         if cached is not None and cached[0] == graph.version:
             return cached[1]
         snapshot = cls._build(graph)
+        setattr(graph, _CACHE_ATTR, (graph.version, snapshot))
+        return snapshot
+
+    @classmethod
+    def from_uncertain_incremental(
+        cls,
+        graph: UncertainGraph,
+        previous: "CSRGraph",
+        dirty_sources: Iterable[Vertex],
+        verify: bool = False,
+    ) -> "CSRGraph":
+        """Snapshot ``graph`` by patching ``previous`` instead of re-freezing.
+
+        ``previous`` must be a snapshot of an earlier state of the *same*
+        graph from which the current state differs only by out-adjacency
+        changes of ``dirty_sources`` (arcs added, removed or re-weighted) and
+        by appended vertices — exactly the mutations a
+        :class:`repro.service.tenancy.MutationLog` can express.  Untouched
+        adjacency rows are copied wholesale from the previous arrays (one
+        slice assignment per contiguous clean run); only dirty and new rows
+        walk the graph's dicts.
+
+        With ``verify=True`` the result is cross-checked against a full
+        :meth:`from_uncertain` rebuild and a mismatch raises — the
+        correctness net for the incremental path, used by the tests and
+        available to callers that prefer safety over speed.
+
+        The snapshot is installed in the graph's per-version cache, so a
+        subsequent :meth:`from_uncertain` returns it without rebuilding.
+        """
+        vertices = tuple(graph.vertices())
+        prev_n = previous.num_vertices
+        if len(vertices) < prev_n or vertices[:prev_n] != previous.vertices:
+            raise InvalidParameterError(
+                "previous snapshot is not a prefix of the current graph: "
+                "incremental rebuild supports arc changes and appended "
+                "vertices only (vertices must never be removed or reordered)"
+            )
+        n = len(vertices)
+        new_index = {vertex: prev_n + offset for offset, vertex in enumerate(vertices[prev_n:])}
+
+        def lookup(label: Vertex) -> int:
+            position = previous._index.get(label)
+            return new_index[label] if position is None else position
+
+        dirty_positions = sorted(
+            {
+                previous._index[source]
+                for source in dirty_sources
+                if source in previous._index
+            }
+        )
+        rebuild_positions = dirty_positions + list(range(prev_n, n))
+
+        degrees = np.empty(n, dtype=np.int64)
+        degrees[:prev_n] = previous.out_degrees()
+        rows: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
+        for position in rebuild_positions:
+            out_arcs = graph.out_arcs(vertices[position])
+            degrees[position] = len(out_arcs)
+            rows[position] = (
+                np.fromiter(
+                    (lookup(neighbor) for neighbor in out_arcs),
+                    dtype=np.int64,
+                    count=len(out_arcs),
+                ),
+                np.fromiter(out_arcs.values(), dtype=np.float64, count=len(out_arcs)),
+            )
+
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(degrees, out=indptr[1:])
+        total = int(indptr[-1])
+        indices = np.empty(total, dtype=np.int64)
+        probs = np.empty(total, dtype=np.float64)
+
+        # Clean rows keep their relative order, so the gaps between dirty
+        # positions are contiguous both in the previous arrays and in the new
+        # ones: one slice copy per run.
+        run_start = 0
+        for boundary in dirty_positions + [prev_n]:
+            if boundary > run_start:
+                old_lo = previous.indptr[run_start]
+                old_hi = previous.indptr[boundary]
+                new_lo = indptr[run_start]
+                span = old_hi - old_lo
+                indices[new_lo : new_lo + span] = previous.indices[old_lo:old_hi]
+                probs[new_lo : new_lo + span] = previous.probs[old_lo:old_hi]
+            run_start = boundary + 1
+        for position in rebuild_positions:
+            destinations, probabilities = rows[position]
+            lo = indptr[position]
+            indices[lo : lo + destinations.size] = destinations
+            probs[lo : lo + probabilities.size] = probabilities
+
+        snapshot = cls(indptr, indices, probs, vertices)
+        if verify:
+            full = cls._build(graph)
+            if not (
+                snapshot._vertices == full._vertices
+                and np.array_equal(snapshot.indptr, full.indptr)
+                and np.array_equal(snapshot.indices, full.indices)
+                and np.array_equal(snapshot.probs, full.probs)
+            ):
+                raise RuntimeError(
+                    "incremental CSR rebuild diverged from the full rebuild "
+                    "(dirty-source set was incomplete?)"
+                )
         setattr(graph, _CACHE_ATTR, (graph.version, snapshot))
         return snapshot
 

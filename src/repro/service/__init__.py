@@ -1,16 +1,23 @@
-"""Serving layer: batched, sharded similarity queries with a bounded bundle store.
+"""Serving layer: batched, sharded, multi-tenant similarity queries.
 
 The service subsystem turns the :class:`~repro.core.engine.SimRankEngine`
 into a servable system:
 
 * :mod:`repro.service.service` — :class:`SimilarityService`, the front end
   accepting pair / top-k-pairs / top-k-for-vertex queries and coalescing
-  concurrent submissions into batches that share walk bundles.
+  concurrent submissions into batches that share walk bundles.  Queries
+  carry an optional ``graph=`` tenant name; mutations are ingested through
+  :meth:`SimilarityService.mutate`.
+* :mod:`repro.service.tenancy` — :class:`GraphRegistry` hosting many named
+  :class:`GraphTenant` graphs in one process (each with its own bundle-store
+  budget, sampler scheme, and engine parameters) and :class:`MutationLog`,
+  the validated add/remove/update mutation batches whose ingest patches CSR
+  snapshots incrementally.
 * :mod:`repro.service.sharding` — :class:`ShardedWalkSampler`, deterministic
   sharded parallel walk sampling over a serial / thread / process executor.
 * :mod:`repro.service.bundle_store` — :class:`WalkBundleStore`, the
   LRU-bounded walk-bundle store with hit/miss/eviction stats and
-  graph-version invalidation.
+  graph-version invalidation (one per tenant).
 * :mod:`repro.service.runner` — the JSON-lines request runner behind
   ``python -m repro.service``.
 """
@@ -23,6 +30,15 @@ from repro.service.service import (
     TopKVertexQuery,
 )
 from repro.service.sharding import EXECUTORS, ShardedWalkSampler
+from repro.service.tenancy import (
+    DEFAULT_GRAPH_NAME,
+    GraphRegistry,
+    GraphTenant,
+    Mutation,
+    MutationLog,
+    MutationReport,
+    TenantConfig,
+)
 
 __all__ = [
     "BundleStoreStats",
@@ -33,4 +49,11 @@ __all__ = [
     "TopKVertexQuery",
     "EXECUTORS",
     "ShardedWalkSampler",
+    "DEFAULT_GRAPH_NAME",
+    "GraphRegistry",
+    "GraphTenant",
+    "Mutation",
+    "MutationLog",
+    "MutationReport",
+    "TenantConfig",
 ]

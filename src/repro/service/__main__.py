@@ -1,4 +1,9 @@
-"""``python -m repro.service`` — the JSON-lines similarity query runner."""
+"""``python -m repro.service`` — the JSON-lines similarity query runner.
+
+See :mod:`repro.service.runner` for the request protocol (pair / top-k
+queries plus the ``create_graph`` / ``mutate`` / ``drop_graph`` / ``stats``
+tenancy control ops) and ``docs/API.md`` for worked examples.
+"""
 
 import sys
 

@@ -1,16 +1,41 @@
 """JSON-lines request runner behind ``python -m repro.service``.
 
 Reads one JSON request per line, answers them through a
-:class:`~repro.service.service.SimilarityService` (all requests are submitted
-up front, so they coalesce into batches and share walk bundles), and writes
-one JSON response per line in request order.
+:class:`~repro.service.service.SimilarityService`, and writes one JSON
+response per line in request order.  Consecutive *query* requests are
+submitted together so they coalesce into batches and share walk bundles;
+*control* requests (graph lifecycle, mutation ingest, stats) act as
+barriers — every pending query is answered before the control op runs, so
+the stream reads like a serial program.
 
-Request shapes (``method`` is optional, default ``"sampling"``; ``id`` is an
-optional opaque value echoed into the response)::
+Query requests (``method`` is optional, default ``"sampling"``; ``graph``
+is an optional tenant name, default the graph loaded at startup; ``id`` is
+an optional opaque value echoed into the response)::
 
     {"op": "pair", "u": "v1", "v": "v2"}
     {"op": "top_k", "query": "v1", "k": 5, "candidates": ["v2", "v3"]}
     {"op": "top_k_pairs", "k": 3, "pairs": [["v1", "v2"], ["v2", "v3"]]}
+
+Control requests::
+
+    {"op": "create_graph", "graph": "g2", "edges": [["a", "b", 0.9]],
+     "params": {"num_walks": 500, "seed": 3}}
+    {"op": "mutate", "graph": "g2",
+     "ops": [{"op": "add_edge", "u": "a", "v": "c", "probability": 0.4},
+             {"op": "remove_edge", "u": "a", "v": "b"},
+             {"op": "update_probability", "u": "a", "v": "c", "probability": 0.7}]}
+    {"op": "drop_graph", "graph": "g2"}
+    {"op": "stats"}
+
+``create_graph`` accepts ``edges`` (``[u, v, probability]`` triples, applied
+as directed arcs), optional ``vertices`` (isolated vertices to pre-register)
+and optional ``params`` overriding per-tenant engine configuration
+(``decay``, ``iterations``, ``num_walks``, ``seed``, ``shard_size``,
+``store_budget_bytes``, …).  ``mutate`` applies its ops as one validated
+:class:`~repro.service.tenancy.MutationLog` batch: the tenant's graph
+version is bumped, only its cached bundles are dropped, and the CSR snapshot
+is patched incrementally.  ``stats`` returns the service's batching counters
+plus the per-tenant bundle-store hit/miss/eviction stats.
 
 Responses mirror the request ``op``; a failed request yields
 ``{"op": ..., "error": "..."}`` without aborting the rest of the stream.
@@ -40,6 +65,10 @@ from repro.service.service import (
     TopKVertexQuery,
 )
 from repro.service.sharding import DEFAULT_SHARD_SIZE, EXECUTORS
+from repro.service.tenancy import MutationLog
+
+#: Request ops handled synchronously, as barriers between query runs.
+CONTROL_OPS = ("create_graph", "mutate", "drop_graph", "stats")
 
 
 def _build_graph(args: argparse.Namespace) -> UncertainGraph:
@@ -60,8 +89,11 @@ def _require(record: dict, field: str):
 def _parse_query(record: dict):
     op = record.get("op")
     method = record.get("method", "sampling")
+    graph = record.get("graph")
     if op == "pair":
-        return PairQuery(_require(record, "u"), _require(record, "v"), method=method)
+        return PairQuery(
+            _require(record, "u"), _require(record, "v"), method=method, graph=graph
+        )
     if op == "top_k":
         candidates = record.get("candidates")
         return TopKVertexQuery(
@@ -69,6 +101,7 @@ def _parse_query(record: dict):
             int(_require(record, "k")),
             tuple(candidates) if candidates is not None else None,
             method=method,
+            graph=graph,
         )
     if op == "top_k_pairs":
         pairs = record.get("pairs")
@@ -76,14 +109,23 @@ def _parse_query(record: dict):
             int(_require(record, "k")),
             tuple((u, v) for u, v in pairs) if pairs is not None else None,
             method=method,
+            graph=graph,
         )
-    raise ValueError(f"unknown op {op!r}; expected pair, top_k or top_k_pairs")
+    raise ValueError(
+        f"unknown op {op!r}; expected pair, top_k, top_k_pairs, "
+        f"or one of {', '.join(CONTROL_OPS)}"
+    )
 
 
-def _render_response(record: dict, query, outcome) -> dict:
+def _base_response(record: dict) -> dict:
     response = {"op": record.get("op")}
     if "id" in record:
         response["id"] = record["id"]
+    return response
+
+
+def _render_response(record: dict, query, outcome) -> dict:
+    response = _base_response(record)
     if isinstance(query, PairQuery):
         response.update(u=query.u, v=query.v, score=outcome.score)
     elif isinstance(query, TopKVertexQuery):
@@ -96,6 +138,45 @@ def _render_response(record: dict, query, outcome) -> dict:
     return response
 
 
+def _render_error(record: dict, error: object) -> dict:
+    response = _base_response(record)
+    response["error"] = str(error)
+    return response
+
+
+def _run_control(service: SimilarityService, record: dict) -> dict:
+    """Execute one control request synchronously and render its response."""
+    op = record["op"]
+    response = _base_response(record)
+    if op == "stats":
+        response["stats"] = service.service_stats()
+        return response
+    name = _require(record, "graph")
+    if op == "create_graph":
+        graph = UncertainGraph(vertices=record.get("vertices", ()))
+        for u, v, probability in record.get("edges", ()):
+            graph.add_arc(u, v, float(probability))
+        params = record.get("params", {})
+        if not isinstance(params, dict):
+            raise ValueError("params must be an object of tenant config fields")
+        tenant = service.create_graph(name, graph, **params)
+        response.update(
+            graph=name,
+            num_vertices=tenant.graph.num_vertices,
+            num_arcs=tenant.graph.num_arcs,
+        )
+        return response
+    if op == "mutate":
+        log = MutationLog.from_records(_require(record, "ops"))
+        report = service.mutate(log, graph=name)
+        response.update(report.as_dict())
+        return response
+    # drop_graph
+    service.drop_graph(name)
+    response.update(graph=name, dropped=True)
+    return response
+
+
 def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
         stdout: Optional[IO[str]] = None, stderr: Optional[IO[str]] = None) -> int:
     """Entry point of ``python -m repro.service``."""
@@ -105,12 +186,13 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
 
     parser = argparse.ArgumentParser(
         prog="python -m repro.service",
-        description="Serve JSON-lines similarity queries over an uncertain graph.",
+        description="Serve JSON-lines similarity queries over uncertain graphs.",
     )
     parser.add_argument(
         "--graph",
         default="example",
-        help="dataset name from the registry, or 'example' (default)",
+        help="dataset name from the registry, or 'example' (default); becomes "
+        "the 'default' tenant",
     )
     parser.add_argument(
         "--edges", default=None, help="load the graph from a weighted edge-list file"
@@ -128,7 +210,13 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
         "--store-budget-mb",
         type=float,
         default=DEFAULT_BUDGET_BYTES / (1024 * 1024),
-        help="walk-bundle store budget in MiB (0 = unbounded)",
+        help="per-tenant walk-bundle store budget in MiB (0 = unbounded)",
+    )
+    parser.add_argument(
+        "--verify-mutations",
+        action="store_true",
+        help="cross-check every incremental snapshot rebuild against a full "
+        "rebuild (slow; correctness canary)",
     )
     parser.add_argument(
         "--stats", action="store_true", help="print service stats to stderr at the end"
@@ -159,8 +247,26 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
         num_workers=args.workers,
         executor=args.executor,
         store_budget_bytes=budget,
+        verify_mutations=args.verify_mutations,
     ) as service:
-        submissions = []
+        # (record, query, future-or-error) triples of the current query run;
+        # control ops flush the run so responses keep stream order and every
+        # query before a mutation is answered on the pre-mutation graph.
+        pending: List[tuple] = []
+
+        def flush() -> None:
+            for record, query, outcome in pending:
+                if query is None:
+                    responses.append(json.dumps(_render_error(record, outcome)))
+                    continue
+                try:
+                    result = outcome.result()
+                except Exception as error:
+                    responses.append(json.dumps(_render_error(record, error)))
+                    continue
+                responses.append(json.dumps(_render_response(record, query, result)))
+            pending.clear()
+
         for line in lines:
             line = line.strip()
             if not line or line.startswith("#"):
@@ -168,34 +274,26 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
             try:
                 record = json.loads(line)
             except Exception as error:
-                submissions.append(({}, None, str(error)))
+                pending.append(({}, None, str(error)))
                 continue
             if not isinstance(record, dict):
-                submissions.append(({}, None, "request must be a JSON object"))
+                pending.append(({}, None, "request must be a JSON object"))
+                continue
+            if record.get("op") in CONTROL_OPS:
+                flush()
+                try:
+                    response = _run_control(service, record)
+                except Exception as error:
+                    response = _render_error(record, error)
+                responses.append(json.dumps(response))
                 continue
             try:
                 query = _parse_query(record)
             except Exception as error:
-                submissions.append((record, None, str(error)))
+                pending.append((record, None, str(error)))
                 continue
-            submissions.append((record, query, service.submit(query)))
-
-        for record, query, outcome in submissions:
-            if query is None:
-                response = {"op": record.get("op"), "error": outcome}
-                if "id" in record:
-                    response["id"] = record["id"]
-                responses.append(json.dumps(response))
-                continue
-            try:
-                result = outcome.result()
-            except Exception as error:
-                response = {"op": record.get("op"), "error": str(error)}
-                if "id" in record:
-                    response["id"] = record["id"]
-                responses.append(json.dumps(response))
-                continue
-            responses.append(json.dumps(_render_response(record, query, result)))
+            pending.append((record, query, service.submit(query)))
+        flush()
 
         if args.stats:
             print(json.dumps(service.service_stats(), indent=2), file=stderr)

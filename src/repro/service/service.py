@@ -10,9 +10,22 @@ queries of the batch from the shared
 across batches until LRU eviction or graph mutation, so a sustained workload
 converges to sampling each hot endpoint once.
 
-Because the sampler derives every walk from ``(seed, vertex, twin, shard)``
-world keys, the service's answers are bit-identical across executor kinds
-and worker counts, and an evicted-then-resampled bundle reproduces exactly.
+One service process hosts many named graphs — *tenants* — through a
+:class:`~repro.service.tenancy.GraphRegistry`: every query carries an
+optional ``graph=`` field naming its tenant (``None`` routes to the default
+tenant), batches are split per tenant, and each tenant answers from its own
+bundle store, sampler scheme, and engine parameters.  Mutations arrive as
+:class:`~repro.service.tenancy.MutationLog` batches through
+:meth:`SimilarityService.mutate`; they travel the same worker queue as
+queries, so ingest is serialized with query batches — a query submitted
+after a mutation always sees the mutated graph.  Applying a log bumps the
+tenant's graph version, drops only that tenant's cached bundles, and patches
+the CSR snapshot incrementally instead of re-freezing the whole graph.
+
+Because each tenant's sampler derives every walk from ``(seed, vertex, twin,
+shard)`` world keys, the service's answers are bit-identical across executor
+kinds and worker counts, and an evicted-then-resampled bundle reproduces
+exactly.
 
 Queries default to the paper's Sampling estimator (the one that benefits
 from bundle reuse); any other engine method is accepted and routed through
@@ -53,6 +66,14 @@ from repro.graph.csr import CSRGraph
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.service.bundle_store import DEFAULT_BUDGET_BYTES, WalkBundleStore
 from repro.service.sharding import DEFAULT_SHARD_SIZE, ShardedWalkSampler
+from repro.service.tenancy import (
+    DEFAULT_GRAPH_NAME,
+    GraphRegistry,
+    GraphTenant,
+    MutationLog,
+    MutationReport,
+    TenantConfig,
+)
 from repro.utils.errors import InvalidParameterError
 
 Vertex = Hashable
@@ -62,11 +83,16 @@ ScoredVertex = Tuple[Vertex, float]
 
 @dataclass(frozen=True)
 class PairQuery:
-    """Similarity of one vertex pair."""
+    """Similarity of one vertex pair.
+
+    ``graph`` names the tenant to answer from; ``None`` routes to the
+    service's default tenant (likewise for the other query types).
+    """
 
     u: Vertex
     v: Vertex
     method: str = "sampling"
+    graph: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -76,6 +102,7 @@ class TopKPairsQuery:
     k: int
     candidate_pairs: Optional[Tuple[Tuple[Vertex, Vertex], ...]] = None
     method: str = "sampling"
+    graph: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -86,9 +113,20 @@ class TopKVertexQuery:
     k: int
     candidates: Optional[Tuple[Vertex, ...]] = None
     method: str = "sampling"
+    graph: Optional[str] = None
 
 
 Query = Union[PairQuery, TopKPairsQuery, TopKVertexQuery]
+
+
+@dataclass
+class _MutationItem:
+    """A mutation-ingest work item travelling the same queue as queries."""
+
+    graph: str
+    log: MutationLog
+    future: "Future"
+
 
 _SHUTDOWN = object()
 
@@ -104,6 +142,7 @@ class ServiceStats:
     queries: int = 0
     batches: int = 0
     largest_batch: int = 0
+    mutations: int = 0
     queries_by_kind: Dict[str, int] = field(default_factory=dict)
 
     def record_batch(self, batch: Sequence[Query]) -> None:
@@ -116,16 +155,21 @@ class ServiceStats:
 
 
 class SimilarityService:
-    """Batched, sharded similarity query front end for one uncertain graph.
+    """Batched, sharded similarity query front end for one or many graphs.
 
     Parameters
     ----------
     graph:
-        The uncertain graph to serve.  Mutations between batches are picked
-        up automatically (the bundle store is invalidated on version change).
+        Single-tenant convenience: the uncertain graph to serve.  It becomes
+        the ``default_graph`` tenant of an internally owned
+        :class:`~repro.service.tenancy.GraphRegistry`.  Direct mutations
+        between batches are picked up automatically (the tenant's bundle
+        store is invalidated on version change); batched ingest goes through
+        :meth:`mutate`.
     decay, iterations, num_walks:
-        Engine parameters; ``num_walks`` is fixed service-wide so that every
-        query of a batch shares the same bundles.
+        Default engine parameters of tenants created by this service;
+        ``num_walks`` is fixed per tenant so that every query of a batch
+        shares the same bundles.
     seed:
         Base seed of the deterministic sharded sampling scheme (and of the
         engine used by non-sampling fallback methods).
@@ -134,19 +178,29 @@ class SimilarityService:
         :class:`~repro.service.sharding.ShardedWalkSampler`.  ``shard_size``
         affects the sampled walks; ``num_workers`` / ``executor`` never do.
     store_budget_bytes:
-        Byte budget of the walk-bundle store (``None`` = unbounded).
+        Byte budget of each tenant's walk-bundle store (``None`` =
+        unbounded).
     max_batch_size, batch_wait_seconds:
         Coalescing knobs of the batch worker: a batch closes when it reaches
         ``max_batch_size`` queries or the wait window expires with an empty
         queue.
+    registry:
+        Host an existing :class:`~repro.service.tenancy.GraphRegistry`
+        instead of (exclusive with) ``graph``.  The registry is *not* closed
+        by :meth:`close` — its owner keeps control of tenant lifecycle.
+    default_graph:
+        Tenant name that queries with ``graph=None`` route to.
+    verify_mutations:
+        Cross-check every incremental snapshot rebuild triggered by
+        :meth:`mutate` against a full rebuild (slow; a correctness canary).
 
     Use as a context manager (or call :meth:`close`) to stop the worker
-    thread and the sampler pool.
+    thread and the sampler pools.
     """
 
     def __init__(
         self,
-        graph: UncertainGraph,
+        graph: Optional[UncertainGraph] = None,
         decay: float = DEFAULT_DECAY,
         iterations: int = DEFAULT_ITERATIONS,
         num_walks: int = DEFAULT_NUM_WALKS,
@@ -157,6 +211,9 @@ class SimilarityService:
         store_budget_bytes: Optional[int] = DEFAULT_BUDGET_BYTES,
         max_batch_size: int = 64,
         batch_wait_seconds: float = 0.002,
+        registry: Optional[GraphRegistry] = None,
+        default_graph: str = DEFAULT_GRAPH_NAME,
+        verify_mutations: bool = False,
     ) -> None:
         if max_batch_size < 1:
             raise InvalidParameterError(
@@ -166,22 +223,34 @@ class SimilarityService:
             raise InvalidParameterError(
                 f"batch_wait_seconds must be >= 0, got {batch_wait_seconds}"
             )
-        self.graph = graph
-        self.store = WalkBundleStore(store_budget_bytes)
-        self.sampler = ShardedWalkSampler(
-            seed=seed,
-            shard_size=shard_size,
-            num_workers=num_workers,
-            executor=executor,
-        )
-        self.engine = SimRankEngine(
-            graph,
-            decay=decay,
-            iterations=iterations,
-            num_walks=num_walks,
-            seed=seed,
-            bundle_store=self.store,
-        )
+        if (graph is None) == (registry is None):
+            raise InvalidParameterError(
+                "provide exactly one of graph= (single tenant) or registry= "
+                "(multi-tenant)"
+            )
+        self.default_graph = default_graph
+        self.verify_mutations = verify_mutations
+        if registry is not None:
+            # The external registry's own settings are left untouched; this
+            # service's verify_mutations only affects logs ingested through it.
+            self.registry = registry
+            self._owns_registry = False
+        else:
+            self.registry = GraphRegistry(
+                defaults=TenantConfig(
+                    decay=decay,
+                    iterations=iterations,
+                    num_walks=num_walks,
+                    seed=seed,
+                    shard_size=shard_size,
+                    num_workers=num_workers,
+                    executor=executor,
+                    store_budget_bytes=store_budget_bytes,
+                ),
+                verify_mutations=verify_mutations,
+            )
+            self._owns_registry = True
+            self.registry.create(default_graph, graph)
         self.max_batch_size = max_batch_size
         self.batch_wait_seconds = batch_wait_seconds
         self.stats = ServiceStats()
@@ -193,10 +262,36 @@ class SimilarityService:
         )
         self._worker.start()
 
+    # -- tenant access --------------------------------------------------------
+
+    def tenant(self, name: Optional[str] = None) -> GraphTenant:
+        """The tenant registered under ``name`` (``None`` = default tenant)."""
+        return self.registry.get(self.default_graph if name is None else name)
+
+    @property
+    def graph(self) -> UncertainGraph:
+        """The default tenant's graph (single-tenant convenience)."""
+        return self.tenant().graph
+
+    @property
+    def store(self) -> WalkBundleStore:
+        """The default tenant's walk-bundle store."""
+        return self.tenant().store
+
+    @property
+    def sampler(self) -> ShardedWalkSampler:
+        """The default tenant's sharded walk sampler."""
+        return self.tenant().sampler
+
+    @property
+    def engine(self) -> SimRankEngine:
+        """The default tenant's engine (used by non-sampling fallbacks)."""
+        return self.tenant().engine
+
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
-        """Drain pending queries, then stop the worker and the sampler pool."""
+        """Drain pending work, stop the worker, and shut down owned pools."""
         with self._lifecycle_lock:
             if self._closed:
                 already_closed = True
@@ -216,9 +311,12 @@ class SimilarityService:
                 item = self._queue.get_nowait()
             except queue.Empty:
                 break
-            if item is not _SHUTDOWN:
-                _resolve(item[1], error=RuntimeError("service is closed"))
-        self.sampler.close()
+            if item is _SHUTDOWN:
+                continue
+            future = item.future if isinstance(item, _MutationItem) else item[1]
+            _resolve(future, error=RuntimeError("service is closed"))
+        if self._owns_registry:
+            self.registry.close()
 
     def __enter__(self) -> "SimilarityService":
         return self
@@ -246,15 +344,22 @@ class SimilarityService:
             self._queue.put((query, future))
         return future
 
-    def pair(self, u: Vertex, v: Vertex, method: str = "sampling") -> SimRankResult:
+    def pair(
+        self,
+        u: Vertex,
+        v: Vertex,
+        method: str = "sampling",
+        graph: Optional[str] = None,
+    ) -> SimRankResult:
         """Blocking single-pair similarity query."""
-        return self.submit(PairQuery(u, v, method=method)).result()
+        return self.submit(PairQuery(u, v, method=method, graph=graph)).result()
 
     def top_k_pairs(
         self,
         k: int,
         candidate_pairs: Optional[Sequence[Tuple[Vertex, Vertex]]] = None,
         method: str = "sampling",
+        graph: Optional[str] = None,
     ) -> List[ScoredPair]:
         """Blocking top-k-pairs query."""
         pairs = (
@@ -262,7 +367,7 @@ class SimilarityService:
             if candidate_pairs is not None
             else None
         )
-        return self.submit(TopKPairsQuery(k, pairs, method=method)).result()
+        return self.submit(TopKPairsQuery(k, pairs, method=method, graph=graph)).result()
 
     def top_k_for_vertex(
         self,
@@ -270,33 +375,102 @@ class SimilarityService:
         k: int,
         candidates: Optional[Sequence[Vertex]] = None,
         method: str = "sampling",
+        graph: Optional[str] = None,
     ) -> List[ScoredVertex]:
         """Blocking top-k-for-vertex query."""
         chosen = tuple(candidates) if candidates is not None else None
-        return self.submit(TopKVertexQuery(query, k, chosen, method=method)).result()
+        return self.submit(
+            TopKVertexQuery(query, k, chosen, method=method, graph=graph)
+        ).result()
+
+    # -- tenant lifecycle and mutation ingest ----------------------------------
+
+    def create_graph(
+        self,
+        name: str,
+        graph: Optional[UncertainGraph] = None,
+        **config_overrides: object,
+    ) -> GraphTenant:
+        """Register a new tenant (see :meth:`GraphRegistry.create`)."""
+        return self.registry.create(name, graph, **config_overrides)
+
+    def drop_graph(self, name: str) -> None:
+        """Unregister a tenant.  In-flight queries naming it fail cleanly."""
+        self.registry.drop(name)
+
+    def graphs(self) -> List[str]:
+        """Names of the hosted tenants."""
+        return self.registry.names()
+
+    def submit_mutations(
+        self, log: MutationLog, graph: Optional[str] = None
+    ) -> "Future":
+        """Enqueue a mutation batch for one tenant; returns a Future.
+
+        The item travels the same queue as queries, so the worker serializes
+        it with query batches: queries submitted before the log are answered
+        on the old graph, queries submitted after it on the new one.  The
+        Future resolves to a :class:`~repro.service.tenancy.MutationReport`.
+        """
+        if not isinstance(log, MutationLog):
+            raise InvalidParameterError(
+                f"expected a MutationLog, got {type(log).__name__!r}"
+            )
+        future: "Future" = Future()
+        name = self.default_graph if graph is None else graph
+        with self._lifecycle_lock:
+            if self._closed:
+                raise RuntimeError("service is closed")
+            self._queue.put(_MutationItem(name, log, future))
+        return future
+
+    def mutate(self, log: MutationLog, graph: Optional[str] = None) -> MutationReport:
+        """Blocking mutation ingest: apply ``log`` to one tenant."""
+        return self.submit_mutations(log, graph=graph).result()
+
+    # -- introspection ---------------------------------------------------------
 
     def service_stats(self) -> Dict[str, object]:
-        """Batching and bundle-store counters, JSON-friendly."""
-        return {
+        """Batching, mutation, and per-tenant bundle-store counters.
+
+        The flat ``store`` / ``store_entries`` / ``store_bytes`` keys mirror
+        the default tenant (kept for single-tenant callers and older
+        clients); ``tenants`` holds the per-tenant breakdown, including each
+        tenant's own hit/miss/eviction counters.
+        """
+        stats: Dict[str, object] = {
             "queries": self.stats.queries,
             "batches": self.stats.batches,
             "largest_batch": self.stats.largest_batch,
+            "mutations": self.stats.mutations,
             "queries_by_kind": dict(self.stats.queries_by_kind),
-            "store": self.store.stats.as_dict(),
-            "store_entries": len(self.store),
-            "store_bytes": self.store.current_bytes,
+            "tenants": self.registry.stats(),
         }
+        if self.default_graph in self.registry:
+            default_tenant = self.registry.get(self.default_graph)
+            stats["store"] = default_tenant.store.stats.as_dict()
+            stats["store_entries"] = len(default_tenant.store)
+            stats["store_bytes"] = default_tenant.store.current_bytes
+        return stats
 
     # -- the batch worker ------------------------------------------------------
 
     def _worker_loop(self) -> None:
+        carried: Optional[_MutationItem] = None
         while True:
-            item = self._queue.get()
+            if carried is not None:
+                item, carried = carried, None
+            else:
+                item = self._queue.get()
             if item is _SHUTDOWN:
                 return
+            if isinstance(item, _MutationItem):
+                self._process_mutation(item)
+                continue
             batch = [item]
             # Coalesce: keep pulling until the queue stays empty for the wait
-            # window or the batch is full.
+            # window, the batch is full, or a mutation arrives (mutations are
+            # batch barriers: they carry over and run alone, after the batch).
             shutdown = False
             while len(batch) < self.max_batch_size:
                 try:
@@ -305,6 +479,9 @@ class SimilarityService:
                     break
                 if item is _SHUTDOWN:
                     shutdown = True
+                    break
+                if isinstance(item, _MutationItem):
+                    carried = item
                     break
                 batch.append(item)
             try:
@@ -318,11 +495,41 @@ class SimilarityService:
             if shutdown:
                 return
 
+    def _process_mutation(self, item: _MutationItem) -> None:
+        self.stats.mutations += 1
+        try:
+            report = self.registry.get(item.graph).apply(
+                item.log,
+                verify=self.verify_mutations or self.registry.verify_mutations,
+            )
+        except Exception as error:
+            _resolve(item.future, error=error)
+            return
+        _resolve(item.future, result=report)
+
     def _process_batch(self, batch: List[Tuple[Query, "Future"]]) -> None:
         self.stats.record_batch([query for query, _ in batch])
+        # Split the batch per tenant; each group plans, samples, and answers
+        # against its own graph snapshot, sampler, and bundle store.
+        groups: Dict[str, List[Tuple[Query, "Future"]]] = {}
+        for query, future in batch:
+            name = self.default_graph if query.graph is None else query.graph
+            groups.setdefault(name, []).append((query, future))
+        for name, items in groups.items():
+            try:
+                tenant = self.registry.get(name)
+            except Exception as error:
+                for _, future in items:
+                    _resolve(future, error=error)
+                continue
+            self._process_tenant_batch(tenant, items)
+
+    def _process_tenant_batch(
+        self, tenant: GraphTenant, batch: List[Tuple[Query, "Future"]]
+    ) -> None:
         try:
-            csr = CSRGraph.from_uncertain(self.graph)
-            self.store.sync_version((id(self.graph), self.graph.version))
+            csr = CSRGraph.from_uncertain(tenant.graph)
+            tenant.store.sync_version((id(tenant.graph), tenant.graph.version))
         except Exception as error:  # pragma: no cover - defensive
             for _, future in batch:
                 _resolve(future, error=error)
@@ -348,7 +555,7 @@ class SimilarityService:
             plans.append((query, future, plan))
 
         try:
-            bundles = self._ensure_bundles(csr, needs)
+            bundles = self._ensure_bundles(tenant, csr, needs)
         except Exception as error:
             # e.g. a broken worker pool: fail the whole batch, keep serving.
             for _, future, _ in plans:
@@ -357,7 +564,9 @@ class SimilarityService:
 
         for query, future, plan in plans:
             try:
-                _resolve(future, result=self._answer(query, csr, plan, bundles))
+                _resolve(
+                    future, result=self._answer(tenant, query, csr, plan, bundles)
+                )
             except Exception as error:
                 _resolve(future, error=error)
 
@@ -405,49 +614,54 @@ class SimilarityService:
         return (pairs, pair_indices)
 
     def _ensure_bundles(
-        self, csr: CSRGraph, needs: Sequence[Tuple[int, bool]]
+        self, tenant: GraphTenant, csr: CSRGraph, needs: Sequence[Tuple[int, bool]]
     ) -> Dict[Tuple[int, bool], np.ndarray]:
-        """Serve needs from the store; sample all misses in one sharded sweep.
+        """Serve needs from the tenant's store; sample misses in one sweep.
 
         The returned dict holds direct references for the duration of the
         batch, so concurrent evictions cannot pull a bundle out from under a
         query that planned on it.
         """
-        iterations = self.engine.iterations
-        num_walks = self.engine.num_walks
+        iterations = tenant.engine.iterations
+        num_walks = tenant.engine.num_walks
         bundles: Dict[Tuple[int, bool], np.ndarray] = {}
         missing: List[Tuple[int, bool]] = []
         for request in needs:
-            cached = self.store.get(
-                self.sampler.store_key(request[0], request[1], iterations, num_walks)
+            cached = tenant.store.get(
+                tenant.sampler.store_key(request[0], request[1], iterations, num_walks)
             )
             if cached is None:
                 missing.append(request)
             else:
                 bundles[request] = cached
         if missing:
-            sampled = self.sampler.sample_bundles(csr, missing, iterations, num_walks)
+            sampled = tenant.sampler.sample_bundles(csr, missing, iterations, num_walks)
             for request, bundle in sampled.items():
-                self.store.put(
-                    self.sampler.store_key(request[0], request[1], iterations, num_walks),
+                tenant.store.put(
+                    tenant.sampler.store_key(
+                        request[0], request[1], iterations, num_walks
+                    ),
                     bundle,
                 )
                 bundles[request] = bundle
         return bundles
 
-    def _score_from_meetings(self, meetings: Sequence[float]) -> float:
-        return simrank_from_meeting_probabilities(meetings, self.engine.decay)
+    def _score_from_meetings(
+        self, tenant: GraphTenant, meetings: Sequence[float]
+    ) -> float:
+        return simrank_from_meeting_probabilities(meetings, tenant.engine.decay)
 
     def _answer(
         self,
+        tenant: GraphTenant,
         query: Query,
         csr: CSRGraph,
         plan: object,
         bundles: Dict[Tuple[int, bool], np.ndarray],
     ) -> object:
         if plan is None:
-            return self._answer_fallback(query)
-        iterations = self.engine.iterations
+            return self._answer_fallback(tenant, query)
+        iterations = tenant.engine.iterations
         if isinstance(query, PairQuery):
             u_index, v_index = plan
             same = u_index == v_index
@@ -460,16 +674,17 @@ class SimilarityService:
             return SimRankResult(
                 u=query.u,
                 v=query.v,
-                score=self._score_from_meetings(meetings),
+                score=self._score_from_meetings(tenant, meetings),
                 meeting_probabilities=tuple(meetings),
-                decay=self.engine.decay,
+                decay=tenant.engine.decay,
                 iterations=iterations,
                 method="sampling",
                 details={
-                    "num_walks": self.engine.num_walks,
+                    "num_walks": tenant.engine.num_walks,
                     "backend": "vectorized",
                     "shared_bundles": True,
                     "service": True,
+                    "graph": tenant.name,
                 },
             )
         if isinstance(query, TopKVertexQuery):
@@ -485,12 +700,13 @@ class SimilarityService:
             # Combined with the same scalar formula as pair queries so that a
             # top-k entry and the corresponding pair query agree bit-for-bit.
             scores = [
-                self._score_from_meetings([0.0] + row.tolist()) for row in tails
+                self._score_from_meetings(tenant, [0.0] + row.tolist())
+                for row in tails
             ]
             order = rank_top_k(query.k, scores)
             return [(candidates[index], scores[index]) for index in order]
         if plan is _ALL_PAIRS:
-            return self._answer_all_pairs_streamed(query, csr)
+            return self._answer_all_pairs_streamed(tenant, query, csr)
         pairs, pair_indices = plan
         scores = []
         for u_index, v_index in pair_indices:
@@ -501,12 +717,12 @@ class SimilarityService:
                 iterations,
                 same,
             )
-            scores.append(self._score_from_meetings(meetings))
+            scores.append(self._score_from_meetings(tenant, meetings))
         order = rank_top_k(query.k, scores)
         return [(pairs[index][0], pairs[index][1], scores[index]) for index in order]
 
     def _answer_all_pairs_streamed(
-        self, query: TopKPairsQuery, csr: CSRGraph
+        self, tenant: GraphTenant, query: TopKPairsQuery, csr: CSRGraph
     ) -> List[ScoredPair]:
         """Top-k over the default quadratic pair space, chunk by chunk.
 
@@ -515,7 +731,7 @@ class SimilarityService:
         the cache) and feeds a bounded heap; memory stays O(k + chunk) no
         matter the graph size.  Tie-breaking matches :func:`rank_top_k`.
         """
-        iterations = self.engine.iterations
+        iterations = tenant.engine.iterations
         best: List[Tuple[float, int, Vertex, Vertex]] = []
         counter = 0
         chunk: List[Tuple[Vertex, Vertex]] = []
@@ -532,12 +748,12 @@ class SimilarityService:
                         seen.add(request)
                         needs.append(request)
                 pair_indices.append((u_index, v_index))
-            bundles = self._ensure_bundles(csr, needs)
+            bundles = self._ensure_bundles(tenant, csr, needs)
             for (u, v), (u_index, v_index) in zip(chunk, pair_indices):
                 meetings = meeting_probabilities_from_matrices(
                     bundles[(u_index, False)], bundles[(v_index, False)], iterations, False
                 )
-                item = (self._score_from_meetings(meetings), -counter, u, v)
+                item = (self._score_from_meetings(tenant, meetings), -counter, u, v)
                 if len(best) < query.k:
                     heapq.heappush(best, item)
                 elif item > best[0]:
@@ -554,20 +770,20 @@ class SimilarityService:
         ranked = sorted(best, reverse=True)
         return [(u, v, score) for score, _, u, v in ranked]
 
-    def _answer_fallback(self, query: Query) -> object:
+    def _answer_fallback(self, tenant: GraphTenant, query: Query) -> object:
         """Non-sampling methods, routed through the engine / top-k helpers."""
         if isinstance(query, PairQuery):
-            return self.engine.similarity(query.u, query.v, method=query.method)
+            return tenant.engine.similarity(query.u, query.v, method=query.method)
         if isinstance(query, TopKVertexQuery):
             return top_k_similar_to(
-                self.engine,
+                tenant.engine,
                 query.query,
                 query.k,
                 candidates=list(query.candidates) if query.candidates is not None else None,
                 method=query.method,
             )
         return top_k_similar_pairs(
-            self.engine,
+            tenant.engine,
             query.k,
             candidate_pairs=(
                 list(query.candidate_pairs) if query.candidate_pairs is not None else None

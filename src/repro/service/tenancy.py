@@ -1,0 +1,525 @@
+"""Multi-tenant graph hosting and incremental mutation ingest.
+
+One long-running similarity service rarely serves a single graph: the
+production shape is many named graphs — *tenants* — sharing one process,
+each with its own resource budget and engine configuration.  This module
+provides that layer:
+
+* :class:`MutationLog` — an ordered, validated batch of graph mutations
+  (``add_edge`` / ``remove_edge`` / ``update_probability``) that can be
+  applied atomically-with-respect-to-validation to an
+  :class:`~repro.graph.uncertain_graph.UncertainGraph` and reports exactly
+  which adjacency rows it dirtied.
+* :class:`GraphTenant` — one hosted graph together with its private
+  :class:`~repro.service.bundle_store.WalkBundleStore` (own byte budget),
+  :class:`~repro.service.sharding.ShardedWalkSampler` (own seed / shard
+  scheme) and :class:`~repro.core.engine.SimRankEngine` parameters.
+* :class:`GraphRegistry` — the name → tenant mapping hosted inside one
+  :class:`~repro.service.service.SimilarityService` process, with
+  create / get / drop lifecycle and per-tenant mutation ingest.
+
+Applying a :class:`MutationLog` to a tenant bumps the graph's mutation
+version, invalidates **only that tenant's** walk bundles, and refreshes the
+CSR snapshot *incrementally*
+(:meth:`~repro.graph.csr.CSRGraph.from_uncertain_incremental`): untouched
+adjacency rows are copied from the previous snapshot, so the per-mutation
+cost scales with the mutation batch rather than the graph.  A ``verify``
+mode cross-checks every incremental rebuild against a full re-freeze.
+
+Thread safety: the registry's lifecycle operations are lock-protected, and
+tenants mutated through :meth:`SimilarityService.mutate` are serialized with
+query batches by the service's worker thread.  Callers that apply mutations
+directly (:meth:`GraphRegistry.apply`) while a service is answering queries
+on the same tenant must provide their own ordering.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.core.engine import SimRankEngine
+from repro.core.sampling import DEFAULT_NUM_WALKS
+from repro.core.simrank import DEFAULT_DECAY, DEFAULT_ITERATIONS
+from repro.graph.csr import CSRGraph
+from repro.graph.uncertain_graph import UncertainGraph
+from repro.service.bundle_store import DEFAULT_BUDGET_BYTES, WalkBundleStore
+from repro.service.sharding import DEFAULT_SHARD_SIZE, EXECUTORS, ShardedWalkSampler
+from repro.utils.errors import InvalidParameterError
+
+Vertex = Hashable
+
+#: Tenant name used when a service is built around a single anonymous graph.
+DEFAULT_GRAPH_NAME = "default"
+
+#: The mutation operations a :class:`MutationLog` can carry.
+MUTATION_OPS = ("add_edge", "remove_edge", "update_probability")
+
+
+@dataclass(frozen=True)
+class Mutation:
+    """One graph mutation: an arc added, removed, or re-weighted.
+
+    ``add_edge`` requires the arc to be absent (endpoints may be brand-new
+    vertices, which are created), ``remove_edge`` and ``update_probability``
+    require it to be present — so a log states intent unambiguously and a
+    misdirected op fails validation instead of silently doing something else.
+    """
+
+    op: str
+    u: Vertex
+    v: Vertex
+    probability: Optional[float] = None
+
+
+class MutationLog:
+    """An ordered batch of mutations applied to one tenant's graph.
+
+    Build one with the fluent helpers and hand it to
+    :meth:`GraphRegistry.apply` (or :meth:`SimilarityService.mutate`)::
+
+        log = (
+            MutationLog()
+            .add_edge("a", "b", 0.8)
+            .update_probability("b", "c", 0.5)
+            .remove_edge("c", "a")
+        )
+
+    or parse one from JSONL records with :meth:`from_records`.  ``apply_to``
+    validates the *whole* log against the graph (tracking intra-log effects,
+    so e.g. removing an arc the same log added is legal) before touching it:
+    a invalid op leaves the graph unchanged.
+    """
+
+    def __init__(self, mutations: Iterable[Mutation] = ()) -> None:
+        self._mutations: List[Mutation] = []
+        for mutation in mutations:
+            self._append(mutation)
+
+    # -- construction ---------------------------------------------------------
+
+    def _append(self, mutation: Mutation) -> "MutationLog":
+        if mutation.op not in MUTATION_OPS:
+            raise InvalidParameterError(
+                f"unknown mutation op {mutation.op!r}; expected one of {MUTATION_OPS}"
+            )
+        if mutation.op in ("add_edge", "update_probability"):
+            probability = mutation.probability
+            if probability is None or not 0.0 < float(probability) <= 1.0:
+                raise InvalidParameterError(
+                    f"{mutation.op} needs a probability in (0, 1], got "
+                    f"{mutation.probability!r} for ({mutation.u!r}, {mutation.v!r})"
+                )
+        self._mutations.append(mutation)
+        return self
+
+    def add_edge(self, u: Vertex, v: Vertex, probability: float) -> "MutationLog":
+        """Append an arc creation (the arc must not already exist)."""
+        return self._append(Mutation("add_edge", u, v, float(probability)))
+
+    def remove_edge(self, u: Vertex, v: Vertex) -> "MutationLog":
+        """Append an arc removal (the arc must exist)."""
+        return self._append(Mutation("remove_edge", u, v))
+
+    def update_probability(self, u: Vertex, v: Vertex, probability: float) -> "MutationLog":
+        """Append a probability change of an existing arc."""
+        return self._append(Mutation("update_probability", u, v, float(probability)))
+
+    @classmethod
+    def from_records(cls, records: Iterable[dict]) -> "MutationLog":
+        """Parse a log from JSON-friendly records.
+
+        Each record is ``{"op": ..., "u": ..., "v": ...}`` plus
+        ``"probability"`` for ``add_edge`` / ``update_probability`` — the
+        shape carried by the ``mutate`` request of the JSONL runner.
+        """
+        log = cls()
+        for record in records:
+            if not isinstance(record, dict):
+                raise InvalidParameterError(
+                    f"mutation record must be an object, got {type(record).__name__}"
+                )
+            missing = [key for key in ("op", "u", "v") if key not in record]
+            if missing:
+                raise InvalidParameterError(
+                    f"mutation record is missing required field(s) {missing}"
+                )
+            probability = record.get("probability")
+            log._append(
+                Mutation(
+                    record["op"],
+                    record["u"],
+                    record["v"],
+                    float(probability) if probability is not None else None,
+                )
+            )
+        return log
+
+    # -- introspection --------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._mutations)
+
+    def __iter__(self) -> Iterator[Mutation]:
+        return iter(self._mutations)
+
+    def __repr__(self) -> str:
+        return f"MutationLog({len(self._mutations)} ops)"
+
+    def as_records(self) -> List[dict]:
+        """The JSON-friendly inverse of :meth:`from_records`."""
+        records = []
+        for mutation in self._mutations:
+            record = {"op": mutation.op, "u": mutation.u, "v": mutation.v}
+            if mutation.probability is not None:
+                record["probability"] = mutation.probability
+            records.append(record)
+        return records
+
+    # -- application ----------------------------------------------------------
+
+    def validate_against(self, graph: UncertainGraph) -> None:
+        """Check every op against ``graph`` plus the log's own earlier ops.
+
+        Raises :class:`~repro.utils.errors.InvalidParameterError` naming the
+        offending op; the graph is never touched.
+        """
+        added: Set[Tuple[Vertex, Vertex]] = set()
+        removed: Set[Tuple[Vertex, Vertex]] = set()
+        for position, mutation in enumerate(self._mutations):
+            arc = (mutation.u, mutation.v)
+            exists = (graph.has_arc(*arc) or arc in added) and arc not in removed
+            if mutation.op == "add_edge" and exists:
+                raise InvalidParameterError(
+                    f"mutation {position}: add_edge {arc!r} but the arc already "
+                    "exists (use update_probability)"
+                )
+            if mutation.op in ("remove_edge", "update_probability") and not exists:
+                raise InvalidParameterError(
+                    f"mutation {position}: {mutation.op} {arc!r} but the arc "
+                    "does not exist"
+                )
+            if mutation.op == "remove_edge":
+                removed.add(arc)
+                added.discard(arc)
+            else:
+                added.add(arc)
+                removed.discard(arc)
+
+    def apply_to(self, graph: UncertainGraph) -> Set[Vertex]:
+        """Validate, then apply the whole log to ``graph``.
+
+        Returns the set of *dirty sources*: every vertex whose out-adjacency
+        changed (including brand-new vertices), i.e. exactly the rows the
+        incremental CSR rebuild must re-derive.
+        """
+        self.validate_against(graph)
+        dirty: Set[Vertex] = set()
+        for mutation in self._mutations:
+            if mutation.op == "remove_edge":
+                graph.remove_arc(mutation.u, mutation.v)
+            else:
+                new_target = not graph.has_vertex(mutation.v)
+                graph.add_arc(mutation.u, mutation.v, float(mutation.probability))
+                if new_target:
+                    dirty.add(mutation.v)
+            dirty.add(mutation.u)
+        return dirty
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """Per-tenant engine, sampling, and resource parameters.
+
+    These are the knobs the single-graph
+    :class:`~repro.service.service.SimilarityService` constructor exposes,
+    made per-tenant: every hosted graph gets its own walk count, seed /
+    shard scheme (hence its own deterministic answer stream) and bundle-store
+    byte budget.
+    """
+
+    decay: float = DEFAULT_DECAY
+    iterations: int = DEFAULT_ITERATIONS
+    num_walks: int = DEFAULT_NUM_WALKS
+    seed: Optional[int] = None
+    shard_size: int = DEFAULT_SHARD_SIZE
+    num_workers: int = 1
+    executor: str = "serial"
+    store_budget_bytes: Optional[int] = DEFAULT_BUDGET_BYTES
+
+    def replace(self, **overrides: object) -> "TenantConfig":
+        """A copy with the given fields overridden (unknown fields rejected)."""
+        unknown = set(overrides) - set(self.__dataclass_fields__)
+        if unknown:
+            raise InvalidParameterError(
+                f"unknown tenant config field(s) {sorted(unknown)}"
+            )
+        merged = {name: getattr(self, name) for name in self.__dataclass_fields__}
+        merged.update(overrides)
+        return TenantConfig(**merged)
+
+
+@dataclass
+class MutationReport:
+    """What applying one :class:`MutationLog` to a tenant did.
+
+    ``snapshot_ms`` is the time spent rebuilding the CSR snapshot alone
+    (incremental patch, or full re-freeze when ``incremental`` is false) —
+    the number to compare against a full re-freeze of the same graph.
+    """
+
+    graph: str
+    ops: int
+    dirty_rows: int
+    version: int
+    num_vertices: int
+    num_arcs: int
+    invalidated_bundles: int
+    incremental: bool
+    snapshot_ms: float
+
+    def as_dict(self) -> Dict[str, object]:
+        """JSON-friendly snapshot (the ``mutate`` response of the runner).
+
+        ``snapshot_ms`` is deliberately excluded: the runner's response
+        stream is pinned to be bit-identical across runs, and a timing is
+        not.  Callers that want it read the report object directly.
+        """
+        return {
+            "graph": self.graph,
+            "ops": self.ops,
+            "dirty_rows": self.dirty_rows,
+            "version": self.version,
+            "num_vertices": self.num_vertices,
+            "num_arcs": self.num_arcs,
+            "invalidated_bundles": self.invalidated_bundles,
+            "incremental": self.incremental,
+        }
+
+
+class GraphTenant:
+    """One named graph hosted in a registry, with private serving state.
+
+    A tenant owns everything query answering needs — the graph, a bundle
+    store under its own byte budget, a deterministic sharded sampler, and a
+    :class:`~repro.core.engine.SimRankEngine` wired to the store — so that
+    tenants never contend for cache budget and a mutation of one tenant
+    cannot invalidate another's bundles.
+    """
+
+    def __init__(self, name: str, graph: UncertainGraph, config: TenantConfig) -> None:
+        if config.executor not in EXECUTORS:
+            raise InvalidParameterError(
+                f"unknown executor {config.executor!r}; expected one of {EXECUTORS}"
+            )
+        self.name = name
+        self.graph = graph
+        self.config = config
+        self.store = WalkBundleStore(config.store_budget_bytes)
+        self.sampler = ShardedWalkSampler(
+            seed=config.seed,
+            shard_size=config.shard_size,
+            num_workers=config.num_workers,
+            executor=config.executor,
+        )
+        self.engine = SimRankEngine(
+            graph,
+            decay=config.decay,
+            iterations=config.iterations,
+            num_walks=config.num_walks,
+            seed=config.seed,
+            bundle_store=self.store,
+        )
+        self.mutations_applied = 0
+        self.ops_applied = 0
+
+    # -- mutation ingest ------------------------------------------------------
+
+    def apply(self, log: MutationLog, verify: bool = False) -> MutationReport:
+        """Apply a mutation log: mutate, invalidate bundles, patch the CSR.
+
+        The previous CSR snapshot (built on demand if this tenant was never
+        queried) seeds an incremental rebuild over the log's dirty rows; the
+        result lands in the graph's per-version snapshot cache, so the next
+        query batch picks it up without a full re-freeze.  The tenant's
+        bundle store is cleared (its walks were sampled on the old graph);
+        no other tenant is touched.
+        """
+        previous = CSRGraph.from_uncertain(self.graph)
+        dirty = log.apply_to(self.graph)
+        incremental = True
+        start = time.perf_counter()
+        try:
+            CSRGraph.from_uncertain_incremental(self.graph, previous, dirty, verify=verify)
+        except InvalidParameterError:
+            # A caller mutated the graph behind our back in a way the
+            # incremental path cannot express; fall back to the full rebuild
+            # rather than failing the ingest.
+            incremental = False
+            start = time.perf_counter()
+            CSRGraph.from_uncertain(self.graph)
+        snapshot_ms = 1000.0 * (time.perf_counter() - start)
+        invalidated = len(self.store)
+        if not self.store.sync_version((id(self.graph), self.graph.version)):
+            invalidated = 0  # e.g. an empty log: nothing was actually dropped
+        self.mutations_applied += 1
+        self.ops_applied += len(log)
+        return MutationReport(
+            graph=self.name,
+            ops=len(log),
+            dirty_rows=len(dirty),
+            version=self.graph.version,
+            num_vertices=self.graph.num_vertices,
+            num_arcs=self.graph.num_arcs,
+            invalidated_bundles=invalidated,
+            incremental=incremental,
+            snapshot_ms=snapshot_ms,
+        )
+
+    # -- introspection --------------------------------------------------------
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-friendly per-tenant counters (the ``stats`` response shape)."""
+        return {
+            "graph": {
+                "num_vertices": self.graph.num_vertices,
+                "num_arcs": self.graph.num_arcs,
+                "version": self.graph.version,
+            },
+            "store": self.store.stats.as_dict(),
+            "store_entries": len(self.store),
+            "store_bytes": self.store.current_bytes,
+            "store_budget_bytes": self.store.budget_bytes,
+            "mutations": self.mutations_applied,
+            "mutation_ops": self.ops_applied,
+            "num_walks": self.config.num_walks,
+            "iterations": self.config.iterations,
+        }
+
+    def close(self) -> None:
+        """Shut down the tenant's sampler pool."""
+        self.sampler.close()
+
+    def __repr__(self) -> str:
+        return f"GraphTenant({self.name!r}, {self.graph!r})"
+
+
+class GraphRegistry:
+    """Named :class:`GraphTenant` instances hosted in one service process.
+
+    Parameters
+    ----------
+    defaults:
+        The :class:`TenantConfig` applied to tenants created without
+        explicit overrides.
+    verify_mutations:
+        When ``True``, every incremental snapshot rebuild triggered by
+        :meth:`apply` is cross-checked against a full rebuild (slow, but a
+        hard correctness net — useful in tests and canary deployments).
+
+    All lifecycle operations are lock-protected; tenant lookups return the
+    live object, so query answering never holds the registry lock.
+    """
+
+    def __init__(
+        self,
+        defaults: Optional[TenantConfig] = None,
+        verify_mutations: bool = False,
+    ) -> None:
+        self.defaults = defaults if defaults is not None else TenantConfig()
+        self.verify_mutations = verify_mutations
+        self._tenants: Dict[str, GraphTenant] = {}
+        self._lock = threading.Lock()
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def create(
+        self,
+        name: str,
+        graph: Optional[UncertainGraph] = None,
+        **overrides: object,
+    ) -> GraphTenant:
+        """Register a new tenant (empty graph unless one is supplied).
+
+        ``overrides`` are :class:`TenantConfig` fields; anything not given
+        comes from the registry defaults.  Creating an existing name raises.
+        """
+        if not isinstance(name, str) or not name:
+            raise InvalidParameterError(f"tenant name must be a non-empty string, got {name!r}")
+        config = self.defaults.replace(**overrides)
+        tenant = GraphTenant(name, graph if graph is not None else UncertainGraph(), config)
+        with self._lock:
+            if name in self._tenants:
+                tenant.close()
+                raise InvalidParameterError(f"graph {name!r} already exists")
+            self._tenants[name] = tenant
+        return tenant
+
+    def get(self, name: str) -> GraphTenant:
+        """The tenant registered under ``name``; raises if unknown."""
+        with self._lock:
+            tenant = self._tenants.get(name)
+            if tenant is None:
+                registered = sorted(self._tenants)
+        if tenant is None:
+            raise InvalidParameterError(
+                f"unknown graph {name!r}; registered: {registered}"
+            )
+        return tenant
+
+    def drop(self, name: str) -> None:
+        """Unregister a tenant and shut down its sampler pool."""
+        with self._lock:
+            tenant = self._tenants.pop(name, None)
+        if tenant is None:
+            raise InvalidParameterError(f"unknown graph {name!r}")
+        tenant.close()
+
+    def close(self) -> None:
+        """Drop every tenant (shutting down their sampler pools)."""
+        with self._lock:
+            tenants = list(self._tenants.values())
+            self._tenants.clear()
+        for tenant in tenants:
+            tenant.close()
+
+    def __enter__(self) -> "GraphRegistry":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- mutation ingest ------------------------------------------------------
+
+    def apply(self, name: str, log: MutationLog) -> MutationReport:
+        """Apply a mutation log to one tenant (others are untouched)."""
+        return self.get(name).apply(log, verify=self.verify_mutations)
+
+    # -- introspection --------------------------------------------------------
+
+    def names(self) -> List[str]:
+        """Registered tenant names, in creation order."""
+        with self._lock:
+            return list(self._tenants)
+
+    def items(self) -> List[Tuple[str, GraphTenant]]:
+        """``(name, tenant)`` pairs, in creation order."""
+        with self._lock:
+            return list(self._tenants.items())
+
+    def stats(self) -> Dict[str, Dict[str, object]]:
+        """Per-tenant counters, keyed by tenant name."""
+        return {name: tenant.stats() for name, tenant in self.items()}
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._tenants
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._tenants)
+
+    def __repr__(self) -> str:
+        return f"GraphRegistry({self.names()!r})"

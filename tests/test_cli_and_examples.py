@@ -24,6 +24,7 @@ class TestCLI:
             "param-n",
             "scalability",
             "service",
+            "tenancy",
             "case-ppi",
             "case-er",
         } == set(EXPERIMENTS)

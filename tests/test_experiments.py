@@ -158,6 +158,37 @@ class TestScalabilityExperiment:
         assert "realised |E|" in text
 
 
+class TestTenancyExperiment:
+    def test_mixed_workload_structure(self):
+        from repro.experiments.tenancy import (
+            format_tenancy_results,
+            run_tenancy_experiment,
+        )
+
+        result = run_tenancy_experiment(
+            num_tenants=3,
+            num_vertices=80,
+            num_edges=240,
+            num_rounds=3,
+            queries_per_round=3,
+            mutations_per_round=3,
+            num_walks=60,
+            iterations=3,
+            seed=5,
+        )
+        assert result.tenants == ["tenant-0", "tenant-1", "tenant-2"]
+        assert len(result.rounds) == 3
+        # Round-robin mutation: every tenant ingests exactly once.
+        assert [r.mutated_tenant for r in result.rounds] == result.tenants
+        for entry in result.rounds:
+            assert entry.mutation_ops == 3
+            assert entry.dirty_rows >= 1
+            assert entry.mean_query_ms > 0.0
+        assert set(result.hit_rates) == set(result.tenants)
+        text = format_tenancy_results(result)
+        assert "full re-freeze" in text and "hit rates" in text
+
+
 class TestPPICaseStudy:
     def test_structure_and_agreement(self):
         result = run_ppi_case_study(k=6, query_k=3, num_walks=120, seed=11)

@@ -1,0 +1,122 @@
+"""Executable-documentation checker: run the docs' code, verify their links.
+
+Documentation rots the moment it stops being executed.  This checker walks
+the repo's markdown files (``README.md`` and everything under ``docs/``) and
+enforces two invariants:
+
+1. **Every fenced ``python`` code block runs.**  Blocks of one file execute
+   top to bottom in a single shared namespace (like a reader following the
+   page), so later snippets may build on earlier ones.  A block whose info
+   string carries ``no-run`` (e.g. ```` ```python no-run ````) is skipped —
+   reserved for illustrative fragments that need external state.
+2. **Every intra-repo markdown link resolves.**  Relative link targets must
+   exist on disk (anchors are stripped); external ``http(s)``/``mailto``
+   links are ignored.
+
+Run from the repository root (CI runs it as the ``docs`` job)::
+
+    PYTHONPATH=src python tools/check_docs.py
+
+Exit status 0 when everything passes; 1 with a per-failure report otherwise.
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+import traceback
+from pathlib import Path
+from typing import Iterable, List, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` markdown links; images share the syntax via ``![``.
+_LINK_PATTERN = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+#: Opening fence of a python block, capturing the info string tail.
+_FENCE_OPEN = re.compile(r"^```python\b(.*)$")
+
+
+def doc_files(root: Path = REPO_ROOT) -> List[Path]:
+    """The markdown files under the checker's contract."""
+    files = [root / "README.md"]
+    files.extend(sorted((root / "docs").glob("*.md")))
+    return [path for path in files if path.exists()]
+
+
+def extract_python_blocks(text: str) -> List[Tuple[int, str]]:
+    """``(start_line, source)`` for every runnable fenced python block."""
+    blocks: List[Tuple[int, str]] = []
+    lines = text.splitlines()
+    position = 0
+    while position < len(lines):
+        match = _FENCE_OPEN.match(lines[position].strip())
+        if match is None:
+            position += 1
+            continue
+        skip = "no-run" in match.group(1)
+        start = position + 1
+        body: List[str] = []
+        position += 1
+        while position < len(lines) and lines[position].strip() != "```":
+            body.append(lines[position])
+            position += 1
+        if position >= len(lines):
+            raise ValueError(f"unterminated code fence opened on line {start}")
+        position += 1  # closing fence
+        if not skip:
+            blocks.append((start + 1, "\n".join(body)))
+    return blocks
+
+
+def run_code_blocks(path: Path) -> List[str]:
+    """Execute the file's python blocks in one namespace; return failures."""
+    failures: List[str] = []
+    try:
+        blocks = extract_python_blocks(path.read_text(encoding="utf-8"))
+    except ValueError as error:
+        return [f"{path.name}: {error}"]
+    namespace: dict = {"__name__": f"docs_{path.stem}"}
+    for start_line, source in blocks:
+        try:
+            code = compile(source, f"{path.name}:{start_line}", "exec")
+            exec(code, namespace)  # noqa: S102 - executing our own docs is the point
+        except Exception:
+            trace = traceback.format_exc(limit=2)
+            failures.append(
+                f"{path.name}: code block at line {start_line} failed:\n{trace}"
+            )
+    return failures
+
+
+def check_links(path: Path) -> List[str]:
+    """Verify every relative link target of one markdown file exists."""
+    failures: List[str] = []
+    for match in _LINK_PATTERN.finditer(path.read_text(encoding="utf-8")):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:", "#")):
+            continue
+        resolved = (path.parent / target.split("#", 1)[0]).resolve()
+        if not resolved.exists():
+            failures.append(f"{path.name}: broken link -> {target}")
+    return failures
+
+
+def main(paths: Iterable[Path] | None = None) -> int:
+    """Check every doc file; print a report; return a process exit code."""
+    failures: List[str] = []
+    checked = 0
+    for path in paths if paths is not None else doc_files():
+        checked += 1
+        failures.extend(run_code_blocks(path))
+        failures.extend(check_links(path))
+    if failures:
+        print(f"docs check FAILED ({len(failures)} problem(s)):\n", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print(f"docs check passed ({checked} file(s): snippets ran, links resolve)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

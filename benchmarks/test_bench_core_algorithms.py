@@ -9,9 +9,15 @@ from __future__ import annotations
 
 import time
 
+import numpy as np
 import pytest
 
 from repro.core.baseline import baseline_simrank
+from repro.core.batch_walks import (
+    KEYED_CHUNK_MIN_ROWS,
+    keyed_chunk_rows,
+    sample_walk_matrix_keyed,
+)
 from repro.core.engine import SimRankEngine
 from repro.core.sampling import sampling_simrank
 from repro.core.speedup import FilterVectors
@@ -21,7 +27,7 @@ from repro.datasets.registry import load_dataset
 from repro.graph.csr import CSRGraph
 from repro.graph.generators import random_vertex_pairs, related_vertex_pairs, rmat_uncertain
 
-from bench_config import BENCH_NUM_WALKS, SWEEP_GRAPH_SIZE
+from bench_config import BENCH_NUM_WALKS, QUICK, SWEEP_GRAPH_SIZE
 
 ITERATIONS = 4
 NUM_WALKS = 300
@@ -180,6 +186,51 @@ def test_bench_sampling_backend_speedup_ratio(benchmark, sweep_graph, sweep_pair
     # The measured ratio is the report (typically 10-30x); the assertion is
     # only a sanity floor so noisy or throttled machines don't fail the suite.
     assert ratio > 1.0
+
+
+@pytest.mark.paper_artifact("keyed-chunk-heuristic")
+def test_bench_keyed_chunk_heuristic_no_regression(benchmark):
+    """Satellite pin: the shape-aware chunk heuristic never loses to the
+    old fixed 2048-row chunking.
+
+    Sparse short-walk sweeps used to serialize on tiny chunks — each chunk
+    pays the Python-level step-loop overhead, and with few steps and few
+    candidate arcs that overhead dominates the vectorized work.
+    :func:`keyed_chunk_rows` budgets by candidate arcs (with a short-walk
+    bonus) instead, so this workload runs in larger chunks, while dense
+    graphs keep the measured 2048-row optimum.  The assertion is a
+    no-regression floor (with noise head-room); the measured ratio lands in
+    ``extra_info``.
+    """
+    # The smallest Fig. 12 sweep graph: sparse (average degree ~2.5), the
+    # shape where the fixed chunk size serialized hardest.
+    graph = rmat_uncertain(600, 1500, rng=43)
+    csr = CSRGraph.from_uncertain(graph)
+    length = 2  # short walks: the heuristic picks larger-than-minimum chunks
+    degree = csr.num_arcs / csr.num_vertices
+    assert keyed_chunk_rows(length, degree) > KEYED_CHUNK_MIN_ROWS
+    rng = np.random.default_rng(11)
+    count = 20_000 if QUICK else 60_000
+    sources = rng.integers(0, csr.num_vertices, size=count).astype(np.int64)
+    keys = rng.integers(0, 2**64, size=count, dtype=np.uint64)
+
+    def time_best(chunk_rows) -> float:
+        best = float("inf")
+        for _ in range(3):
+            start = time.perf_counter()
+            sample_walk_matrix_keyed(csr, sources, length, keys, chunk_rows=chunk_rows)
+            best = min(best, time.perf_counter() - start)
+        return best
+
+    def compare() -> float:
+        fixed = time_best(KEYED_CHUNK_MIN_ROWS)  # the old fixed chunking
+        heuristic = time_best(None)
+        return fixed / heuristic
+
+    ratio = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["chunk_heuristic_speedup"] = ratio
+    # >= 1.0 modulo noise: the heuristic must never regress the keyed sweep.
+    assert ratio >= 0.8
 
 
 @pytest.mark.paper_artifact("backend-batched-many")

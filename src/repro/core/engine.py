@@ -46,6 +46,54 @@ Vertex = Hashable
 METHODS = ("baseline", "sampling", "two_phase", "speedup")
 
 
+class EngineCaches:
+    """Snapshot-scoped shared state of one engine.
+
+    Everything the engine caches per graph snapshot lives here: the α cache
+    of the exact algorithms and the SR-SP filter-vector pairs (one
+    independently drawn u/v pair per ``num_walks``).  The object is identified
+    by ``key`` — the ``(id(graph), graph.version)`` snapshot identity — and is
+    *replaced wholesale*, never mutated across versions: an engine builds a
+    fresh instance when its graph moves on, while consumers that pinned the
+    old instance (an epoch-pinned
+    :class:`~repro.service.epoch.EngineSnapshot`) keep a self-consistent view
+    of the caches exactly as they were at that snapshot.
+    """
+
+    def __init__(
+        self, graph: UncertainGraph, key: Tuple[object, ...], rng: RandomState
+    ) -> None:
+        self.key = key
+        self._graph = graph
+        self._rng = rng
+        self.alpha_cache = AlphaCache(graph)
+        self._filter_pairs: dict = {}
+
+    def filter_pair(self, num_walks: int) -> Tuple[FilterVectors, FilterVectors]:
+        """The (u-side, v-side) SR-SP filter vectors for one walk count.
+
+        The two sets are drawn independently so the two endpoint walk bundles
+        of a query stay statistically independent (DESIGN.md §5.1); both are
+        built lazily on first use and reused for every later query at this
+        snapshot and walk count.
+        """
+        pair = self._filter_pairs.get(num_walks)
+        if pair is None:
+            pair = self.rebuild_filter_pair(num_walks)
+        return pair
+
+    def rebuild_filter_pair(
+        self, num_walks: int
+    ) -> Tuple[FilterVectors, FilterVectors]:
+        """Redraw both filter sets (a fresh offline sampling pass)."""
+        pair = (
+            FilterVectors(self._graph, num_walks, self._rng),
+            FilterVectors(self._graph, num_walks, self._rng),
+        )
+        self._filter_pairs[num_walks] = pair
+        return pair
+
+
 class SimRankEngine:
     """Compute uncertain-graph SimRank similarities with any of the paper's algorithms.
 
@@ -107,11 +155,7 @@ class SimRankEngine:
         self.exact_prefix = exact_prefix
         self.backend = validate_backend(backend)
         self._rng = ensure_rng(seed)
-        self._alpha_cache = AlphaCache(graph)
-        self._alpha_key = self._graph_key()
-        self._filters: FilterVectors | None = None
-        self._filters_v: FilterVectors | None = None
-        self._filters_key: Tuple[object, ...] | None = None
+        self._caches = EngineCaches(graph, self._graph_key(), self._rng)
 
     # -- shared state --------------------------------------------------------
 
@@ -119,16 +163,22 @@ class SimRankEngine:
         """Identity of the current graph snapshot (object + mutation version)."""
         return (id(self.graph), self.graph.version)
 
-    def _current_filters_key(self) -> Tuple[object, ...]:
-        return self._graph_key() + (self.num_walks,)
+    @property
+    def caches(self) -> EngineCaches:
+        """The snapshot-scoped cache bundle, replaced when the graph moves on.
+
+        Assigning a new graph or mutating the current one retires the whole
+        object at once — consumers that pinned the previous instance (epoch
+        snapshots) keep a consistent view of the retired version.
+        """
+        if self._caches.key != self._graph_key():
+            self._caches = EngineCaches(self.graph, self._graph_key(), self._rng)
+        return self._caches
 
     @property
     def alpha_cache(self) -> AlphaCache:
         """The α cache of the exact algorithms, refreshed if the graph changed."""
-        if self._alpha_key != self._graph_key():
-            self._alpha_cache = AlphaCache(self.graph)
-            self._alpha_key = self._graph_key()
-        return self._alpha_cache
+        return self.caches.alpha_cache
 
     @property
     def filters(self) -> FilterVectors:
@@ -138,10 +188,7 @@ class SimRankEngine:
         graph, mutating the current one, or changing ``num_walks`` all
         invalidate the cache instead of silently serving stale vectors.
         """
-        if self._filters is None or self._filters_key != self._current_filters_key():
-            self._rebuild_filter_pair()
-        assert self._filters is not None
-        return self._filters
+        return self.caches.filter_pair(self.num_walks)[0]
 
     @property
     def filters_v(self) -> FilterVectors:
@@ -150,21 +197,11 @@ class SimRankEngine:
         Kept independent of :attr:`filters` so the two endpoint walk bundles
         stay statistically independent (DESIGN.md §5.1).
         """
-        if self._filters_v is None or self._filters_key != self._current_filters_key():
-            self._rebuild_filter_pair()
-        assert self._filters_v is not None
-        return self._filters_v
-
-    def _rebuild_filter_pair(self) -> None:
-        self._filters = FilterVectors(self.graph, self.num_walks, self._rng)
-        self._filters_v = FilterVectors(self.graph, self.num_walks, self._rng)
-        self._filters_key = self._current_filters_key()
+        return self.caches.filter_pair(self.num_walks)[1]
 
     def rebuild_filters(self) -> FilterVectors:
         """Redraw both SR-SP filter sets (a fresh offline sampling pass)."""
-        self._rebuild_filter_pair()
-        assert self._filters is not None
-        return self._filters
+        return self.caches.rebuild_filter_pair(self.num_walks)[0]
 
     # -- queries --------------------------------------------------------------
 
@@ -187,13 +224,13 @@ class SimRankEngine:
                 f"unknown method {method!r}; expected one of {METHODS}"
             )
         if method == "baseline":
+            overrides.setdefault("alpha_cache", self.alpha_cache)
             return baseline_simrank(
                 self.graph,
                 u,
                 v,
                 decay=self.decay,
                 iterations=self.iterations,
-                alpha_cache=self.alpha_cache,
                 **overrides,
             )
         overrides.setdefault("backend", self.backend)
@@ -211,9 +248,14 @@ class SimRankEngine:
         use_speedup = method == "speedup"
         overrides.setdefault("num_walks", self.num_walks)
         overrides.setdefault("exact_prefix", self.exact_prefix)
+        overrides.setdefault("alpha_cache", self.alpha_cache)
         if use_speedup:
-            overrides.setdefault("filters", self.filters)
-            overrides.setdefault("filters_v", self.filters_v)
+            # Filters sized for the *effective* walk count: a per-query
+            # num_walks override gets its own cached filter pair instead of
+            # being silently reset to the default pair's width downstream.
+            filter_pair = self.caches.filter_pair(int(overrides["num_walks"]))
+            overrides.setdefault("filters", filter_pair[0])
+            overrides.setdefault("filters_v", filter_pair[1])
         return two_phase_simrank(
             self.graph,
             u,
@@ -222,7 +264,6 @@ class SimRankEngine:
             iterations=self.iterations,
             rng=self._rng,
             use_speedup=use_speedup,
-            alpha_cache=self.alpha_cache,
             **overrides,
         )
 

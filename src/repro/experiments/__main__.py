@@ -6,7 +6,7 @@ Usage::
 
 where ``<experiment>`` is one of ``datasets``, ``measures``, ``convergence``,
 ``efficiency``, ``accuracy``, ``param-n``, ``scalability``, ``service``,
-``tenancy``, ``case-ppi``, ``case-er`` or ``all``.  ``--quick`` shrinks the
+``tenancy``, ``epoch``, ``case-ppi``, ``case-er`` or ``all``.  ``--quick`` shrinks the
 workload (fewer pairs, smaller sample sizes) so a full pass finishes in a
 couple of minutes.
 """
@@ -30,6 +30,7 @@ from repro.experiments.convergence import (
     run_convergence_experiment,
 )
 from repro.experiments.efficiency import format_efficiency_results, run_efficiency_experiment
+from repro.experiments.epoch import format_epoch_results, run_epoch_experiment
 from repro.experiments.measures import format_measures_results, run_measures_experiment
 from repro.experiments.param_n import format_param_n_results, run_param_n_experiment
 from repro.experiments.report import format_dataset_summary
@@ -104,6 +105,18 @@ def _run_service(quick: bool) -> str:
     return format_service_topk_results(results)
 
 
+def _run_epoch(quick: bool) -> str:
+    result = run_epoch_experiment(
+        num_vertices=300 if quick else 600,
+        num_edges=1200 if quick else 2400,
+        ops_per_round=1000 if quick else 2000,
+        num_rounds=4 if quick else 10,
+        queries_per_round=12,
+        num_walks=150 if quick else 300,
+    )
+    return format_epoch_results(result)
+
+
 def _run_tenancy(quick: bool) -> str:
     result = run_tenancy_experiment(
         num_tenants=3,
@@ -145,6 +158,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "scalability": _run_scalability,
     "service": _run_service,
     "tenancy": _run_tenancy,
+    "epoch": _run_epoch,
     "case-ppi": _run_case_ppi,
     "case-er": _run_case_er,
 }

@@ -60,6 +60,8 @@ class CSRGraph:
         "indptr",
         "indices",
         "probs",
+        "graph_id",
+        "version",
         "_vertices",
         "_index",
         "_csc_perm",
@@ -73,6 +75,8 @@ class CSRGraph:
         indices: np.ndarray,
         probs: np.ndarray,
         vertices: Tuple[Vertex, ...],
+        graph_id: "int | None" = None,
+        version: "int | None" = None,
     ) -> None:
         self.indptr = np.ascontiguousarray(indptr, dtype=np.int64)
         self.indices = np.ascontiguousarray(indices, dtype=np.int64)
@@ -84,6 +88,8 @@ class CSRGraph:
             )
         if self.indices.shape != self.probs.shape:
             raise InvalidParameterError("indices and probs must have the same length")
+        self.graph_id = graph_id
+        self.version = version
         self._index: Dict[Vertex, int] = {
             vertex: position for position, vertex in enumerate(self._vertices)
         }
@@ -194,7 +200,10 @@ class CSRGraph:
             indices[lo : lo + destinations.size] = destinations
             probs[lo : lo + probabilities.size] = probabilities
 
-        snapshot = cls(indptr, indices, probs, vertices)
+        snapshot = cls(
+            indptr, indices, probs, vertices,
+            graph_id=id(graph), version=graph.version,
+        )
         if verify:
             full = cls._build(graph)
             if not (
@@ -229,7 +238,27 @@ class CSRGraph:
             np.asarray(destinations, dtype=np.int64),
             np.asarray(probabilities, dtype=np.float64),
             vertices,
+            graph_id=id(graph),
+            version=graph.version,
         )
+
+    # -- snapshot identity ---------------------------------------------------
+
+    @property
+    def snapshot_token(self) -> "Tuple[object, object] | None":
+        """Identity of the graph state this snapshot froze.
+
+        ``(graph_id, version)`` — the same token the bundle stores and engine
+        caches key their invalidation on — or ``None`` for snapshots built
+        directly from arrays (e.g. inside sampler worker processes), which
+        carry no provenance.  Two snapshots of the same
+        :class:`~repro.graph.uncertain_graph.UncertainGraph` at the same
+        mutation version share this token, so epoch managers can tag the
+        snapshots they pin without holding the source graph.
+        """
+        if self.graph_id is None or self.version is None:
+            return None
+        return (self.graph_id, self.version)
 
     # -- basic queries -------------------------------------------------------
 

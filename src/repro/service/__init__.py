@@ -5,9 +5,15 @@ into a servable system:
 
 * :mod:`repro.service.service` — :class:`SimilarityService`, the front end
   accepting pair / top-k-pairs / top-k-for-vertex queries and coalescing
-  concurrent submissions into batches that share walk bundles.  Queries
-  carry an optional ``graph=`` tenant name; mutations are ingested through
-  :meth:`SimilarityService.mutate`.
+  concurrent submissions into batches that share walk bundles, answered by
+  a configurable pool of read workers.  Queries carry an optional
+  ``graph=`` tenant name and a per-query ``num_walks=`` override; mutations
+  are ingested through :meth:`SimilarityService.mutate` on a dedicated
+  single-writer thread.
+* :mod:`repro.service.epoch` — :class:`EpochManager` /
+  :class:`EngineSnapshot`, the epoch-pinned immutable read views that let
+  queries keep answering (bit-identically, at their pinned graph version)
+  while mutations build and publish the next snapshot.
 * :mod:`repro.service.tenancy` — :class:`GraphRegistry` hosting many named
   :class:`GraphTenant` graphs in one process (each with its own bundle-store
   budget, sampler scheme, and engine parameters) and :class:`MutationLog`,
@@ -23,7 +29,15 @@ into a servable system:
 """
 
 from repro.service.bundle_store import BundleStoreStats, WalkBundleStore
+from repro.service.epoch import (
+    EngineSnapshot,
+    Epoch,
+    EpochLease,
+    EpochManager,
+    VersionedStoreView,
+)
 from repro.service.service import (
+    INGEST_MODES,
     PairQuery,
     SimilarityService,
     TopKPairsQuery,
@@ -43,6 +57,12 @@ from repro.service.tenancy import (
 __all__ = [
     "BundleStoreStats",
     "WalkBundleStore",
+    "EngineSnapshot",
+    "Epoch",
+    "EpochLease",
+    "EpochManager",
+    "VersionedStoreView",
+    "INGEST_MODES",
     "PairQuery",
     "SimilarityService",
     "TopKPairsQuery",

@@ -35,12 +35,22 @@ DEFAULT_BUDGET_BYTES = 256 * 1024 * 1024
 
 @dataclass
 class BundleStoreStats:
-    """Counters of one :class:`WalkBundleStore` (monotone over its lifetime)."""
+    """Counters of one :class:`WalkBundleStore` (monotone over its lifetime).
+
+    The owning store mutates the counters under its own lock and shares that
+    lock here (:meth:`bind_lock`), so :meth:`as_dict` reads all four counters
+    atomically — a stats poll racing the service's read pool can never see a
+    torn update (e.g. a hit counted but its lookup not yet visible).
+    """
 
     hits: int = 0
     misses: int = 0
     evictions: int = 0
     invalidations: int = 0
+
+    def bind_lock(self, lock: "threading.RLock") -> None:
+        """Share the owning store's lock for atomic snapshot reads."""
+        self._lock = lock
 
     @property
     def lookups(self) -> int:
@@ -53,7 +63,14 @@ class BundleStoreStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
     def as_dict(self) -> Dict[str, float]:
-        """JSON-friendly snapshot of the counters."""
+        """JSON-friendly consistent snapshot of the counters."""
+        lock = getattr(self, "_lock", None)
+        if lock is None:
+            return self._as_dict_unlocked()
+        with lock:
+            return self._as_dict_unlocked()
+
+    def _as_dict_unlocked(self) -> Dict[str, float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -84,9 +101,13 @@ class WalkBundleStore:
         self._budget = budget_bytes
         self._entries: "OrderedDict[Hashable, np.ndarray]" = OrderedDict()
         self._bytes = 0
-        self._stats = BundleStoreStats()
         self._version: Hashable = None
-        self._lock = threading.Lock()
+        # One reentrant lock guards entries, byte accounting, the version
+        # token, AND the counters (shared with the stats object), so every
+        # observable quantity of the store updates atomically.
+        self._lock = threading.RLock()
+        self._stats = BundleStoreStats()
+        self._stats.bind_lock(self._lock)
 
     # -- introspection --------------------------------------------------------
 
@@ -148,6 +169,43 @@ class WalkBundleStore:
                 self._bytes -= int(evicted.nbytes)
                 self._stats.evictions += 1
         return bundle
+
+    # -- version-pinned access (epoch read views) -----------------------------
+
+    @property
+    def version_token(self) -> Hashable:
+        """The snapshot identity the store is currently bound to."""
+        with self._lock:
+            return self._version
+
+    def get_versioned(self, key: Hashable, token: Hashable) -> Optional[np.ndarray]:
+        """:meth:`get`, but only while the store is still bound to ``token``.
+
+        A reader pinned to an older graph snapshot must never be handed a
+        bundle sampled on a newer one (the keys coincide across versions —
+        invalidation is whole-store).  When ``token`` no longer matches, the
+        lookup is a miss by definition: the caller resamples on its own
+        pinned snapshot, which is bit-identical to what the store held for
+        that version before it moved on.
+        """
+        with self._lock:
+            if token != self._version:
+                self._stats.misses += 1
+                return None
+            return self.get(key)
+
+    def put_versioned(
+        self, key: Hashable, bundle: np.ndarray, token: Hashable
+    ) -> np.ndarray:
+        """:meth:`put`, dropped silently if the store moved past ``token``.
+
+        Keeps a retiring epoch's late resamples from polluting the store
+        after a mutation re-bound it to the next graph version.
+        """
+        with self._lock:
+            if token != self._version:
+                return bundle
+            return self.put(key, bundle)
 
     # -- invalidation ---------------------------------------------------------
 

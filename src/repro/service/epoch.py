@@ -1,0 +1,288 @@
+"""Epoch-pinned engine snapshots: wait-free reads under single-writer ingest.
+
+The estimator of the paper is embarrassingly read-parallel — walk bundles
+are pure functions of ``(graph snapshot, sampling scheme)`` and are shared
+across queries — yet a serving layer that mutates its graph *in place*
+forces every reader to coordinate with the writer.  This module removes
+that coordination with the classic epoch scheme of read-optimized stores
+(RCU / MVCC in miniature):
+
+* :class:`EngineSnapshot` — one immutable, self-sufficient read view of a
+  tenant: the pinned :class:`~repro.graph.csr.CSRGraph`, the engine's
+  snapshot-scoped caches (α cache + SR-SP filter vectors, see
+  :class:`~repro.core.engine.EngineCaches`), the engine parameters, and a
+  *versioned read view* of the tenant's
+  :class:`~repro.service.bundle_store.WalkBundleStore`
+  (:class:`VersionedStoreView`) that can never serve or retain a bundle
+  belonging to a different graph version.
+* :class:`EpochManager` — publishes snapshots atomically.  Readers
+  :meth:`~EpochManager.pin` the current epoch (a refcounted
+  :class:`EpochLease`); the writer publishes a successor and *retires* the
+  predecessor, which is freed the moment its last lease drains.  Pinning
+  and publishing are a couple of refcount updates under one small lock —
+  never blocked by sampling, and never blocking ingest.
+
+Query answering against a pinned snapshot touches **no mutable tenant
+state**: in-flight queries keep answering on their epoch while a mutation
+batch builds the next one, and results stay bit-identical to a standalone
+engine built at the pinned graph version (the sampling scheme is keyed, so
+a bundle resampled on the retiring epoch equals the one the store held).
+
+The write side stays single-writer by construction: mutation ingest runs in
+the service's dedicated writer thread (or the caller's thread for direct
+:meth:`~repro.service.tenancy.GraphTenant.apply` calls), serialized per
+tenant by the tenant's write lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, replace
+from typing import Dict, Hashable, List, Optional
+
+import numpy as np
+
+from repro.core.engine import EngineCaches
+from repro.graph.csr import CSRGraph
+from repro.service.bundle_store import WalkBundleStore
+from repro.utils.errors import InvalidParameterError
+
+
+class VersionedStoreView:
+    """A read/write view of one bundle store pinned to one snapshot token.
+
+    Bundle-store keys do not carry the graph version (invalidation is
+    whole-store), so a reader that outlives a mutation must not touch the
+    store directly: it could read a bundle sampled on a newer graph, or leak
+    an old bundle into the new version's cache.  The view forwards every
+    operation through the store's version-checked entry points — while the
+    store is still bound to this view's token it behaves exactly like the
+    store; afterwards every ``get`` misses and every ``put`` is dropped, and
+    the retiring reader simply resamples (bit-identically) on its own pinned
+    snapshot.
+    """
+
+    __slots__ = ("_store", "token")
+
+    def __init__(self, store: WalkBundleStore, token: Hashable) -> None:
+        self._store = store
+        self.token = token
+
+    @property
+    def current(self) -> bool:
+        """Whether the backing store is still bound to this view's version."""
+        return self._store.version_token == self.token
+
+    def get(self, key: Hashable) -> Optional[np.ndarray]:
+        """Version-checked :meth:`WalkBundleStore.get`."""
+        return self._store.get_versioned(key, self.token)
+
+    def put(self, key: Hashable, bundle: np.ndarray) -> np.ndarray:
+        """Version-checked :meth:`WalkBundleStore.put`."""
+        return self._store.put_versioned(key, bundle, self.token)
+
+    def __repr__(self) -> str:
+        return f"VersionedStoreView(token={self.token!r}, current={self.current})"
+
+
+@dataclass(frozen=True)
+class EngineSnapshot:
+    """Everything one query batch needs, frozen at one graph version.
+
+    Instances are immutable and shared: any number of read workers may
+    answer from the same snapshot concurrently.  ``caches`` is the engine's
+    snapshot-scoped state (α cache, SR-SP filters) pinned at publish time —
+    the engine replaces that object wholesale when the graph moves on, so a
+    pinned snapshot keeps a consistent view of the retired version.
+    """
+
+    epoch_id: int
+    graph_version: int
+    csr: CSRGraph
+    store_view: VersionedStoreView
+    caches: EngineCaches
+    decay: float
+    iterations: int
+    num_walks: int
+
+    @property
+    def token(self) -> Hashable:
+        """The snapshot identity ``(graph_id, version)`` this epoch pinned."""
+        return self.store_view.token
+
+
+class Epoch:
+    """One published snapshot plus its pin accounting.
+
+    All fields are guarded by the owning :class:`EpochManager`'s lock; the
+    object itself is only ever handed out inside an :class:`EpochLease`.
+    """
+
+    __slots__ = ("snapshot", "pins", "retired")
+
+    def __init__(self, snapshot: EngineSnapshot) -> None:
+        self.snapshot = snapshot
+        self.pins = 0
+        self.retired = False
+
+    def __repr__(self) -> str:
+        state = "retired" if self.retired else "current"
+        return (
+            f"Epoch(id={self.snapshot.epoch_id}, "
+            f"version={self.snapshot.graph_version}, pins={self.pins}, {state})"
+        )
+
+
+class EpochLease:
+    """A pinned epoch: holds one refcount until released.
+
+    Use as a context manager (the service's read workers do), or call
+    :meth:`release` explicitly; releasing twice is a harmless no-op.  The
+    lease — not the manager — is the only handle readers need: its
+    :attr:`snapshot` is guaranteed to stay fully intact (CSR arrays, caches,
+    store view) until released.
+    """
+
+    __slots__ = ("_manager", "_epoch", "_released")
+
+    def __init__(self, manager: "EpochManager", epoch: Epoch) -> None:
+        self._manager = manager
+        self._epoch = epoch
+        self._released = False
+
+    @property
+    def snapshot(self) -> EngineSnapshot:
+        """The pinned snapshot."""
+        return self._epoch.snapshot
+
+    def release(self) -> None:
+        """Drop the pin; frees the epoch if it is retired and drained."""
+        if not self._released:
+            self._released = True
+            self._manager._release(self._epoch)
+
+    def __enter__(self) -> "EpochLease":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def __repr__(self) -> str:
+        return f"EpochLease({self._epoch!r}, released={self._released})"
+
+
+class EpochManager:
+    """Atomic snapshot publication with refcounted reader leases.
+
+    One manager per tenant.  The writer calls :meth:`publish` with a fully
+    built :class:`EngineSnapshot`; readers call :meth:`pin`.  Every
+    operation is O(1) under one small lock — the heavy work (building the
+    CSR, sampling) always happens outside.
+
+    Retirement protocol: publishing epoch *n+1* retires epoch *n*; a retired
+    epoch is freed (dropped from the live table) as soon as its pin count
+    reaches zero, which the lifetime counters in :meth:`stats` make
+    observable — ``live`` must return to 1 when all readers drain, or the
+    service is leaking snapshots.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._current: Optional[Epoch] = None
+        self._live: Dict[int, Epoch] = {}
+        self._next_id = 1
+        self._published = 0
+        self._freed = 0
+        self._max_live = 0
+
+    # -- writer side ----------------------------------------------------------
+
+    def publish(self, snapshot: EngineSnapshot) -> EngineSnapshot:
+        """Install ``snapshot`` as the current epoch, retiring the previous.
+
+        The manager assigns the epoch id (monotone from 1); the returned
+        snapshot carries it.  In-flight leases on the previous epoch are
+        untouched — it is freed when the last one drains.
+        """
+        with self._lock:
+            stamped = replace(snapshot, epoch_id=self._next_id)
+            self._next_id += 1
+            epoch = Epoch(stamped)
+            previous = self._current
+            self._current = epoch
+            self._live[stamped.epoch_id] = epoch
+            self._published += 1
+            if previous is not None:
+                previous.retired = True
+                if previous.pins == 0:
+                    self._free_locked(previous)
+            self._max_live = max(self._max_live, len(self._live))
+            return stamped
+
+    # -- reader side ----------------------------------------------------------
+
+    @property
+    def current(self) -> Optional[Epoch]:
+        """The current epoch (``None`` before the first publish)."""
+        with self._lock:
+            return self._current
+
+    def pin(self) -> EpochLease:
+        """Lease the current epoch; raises before the first publish."""
+        with self._lock:
+            if self._current is None:
+                raise InvalidParameterError(
+                    "no epoch published yet; the tenant must publish its "
+                    "initial snapshot before readers can pin"
+                )
+            self._current.pins += 1
+            return EpochLease(self, self._current)
+
+    def _release(self, epoch: Epoch) -> None:
+        with self._lock:
+            epoch.pins -= 1
+            if epoch.retired and epoch.pins == 0:
+                self._free_locked(epoch)
+
+    def _free_locked(self, epoch: Epoch) -> None:
+        if self._live.pop(epoch.snapshot.epoch_id, None) is not None:
+            self._freed += 1
+
+    # -- introspection ---------------------------------------------------------
+
+    def live_epochs(self) -> List[Epoch]:
+        """The epochs not yet freed (current + retired-but-pinned)."""
+        with self._lock:
+            return list(self._live.values())
+
+    def stats(self) -> Dict[str, object]:
+        """Lifetime epoch accounting (the leak detector of the tests).
+
+        ``live`` counts epochs not yet freed and ``pinned`` the leases still
+        outstanding across them; with no readers in flight, a healthy tenant
+        always shows ``live == 1`` (just the current epoch) and
+        ``pinned == 0`` — anything else is a leaked lease.
+        """
+        with self._lock:
+            return {
+                "current": (
+                    None if self._current is None else self._current.snapshot.epoch_id
+                ),
+                "current_version": (
+                    None
+                    if self._current is None
+                    else self._current.snapshot.graph_version
+                ),
+                "published": self._published,
+                "freed": self._freed,
+                "live": len(self._live),
+                "max_live": self._max_live,
+                "pinned": sum(epoch.pins for epoch in self._live.values()),
+            }
+
+    def __repr__(self) -> str:
+        stats = self.stats()
+        return (
+            f"EpochManager(current={stats['current']}, live={stats['live']}, "
+            f"pinned={stats['pinned']})"
+        )

@@ -9,12 +9,19 @@ barriers — every pending query is answered before the control op runs, so
 the stream reads like a serial program.
 
 Query requests (``method`` is optional, default ``"sampling"``; ``graph``
-is an optional tenant name, default the graph loaded at startup; ``id`` is
+is an optional tenant name, default the graph loaded at startup;
+``num_walks`` optionally overrides the tenant's walk count for that query
+alone, subject to the tenant's ``max_num_walks`` admission cap; ``id`` is
 an optional opaque value echoed into the response)::
 
     {"op": "pair", "u": "v1", "v": "v2"}
+    {"op": "pair", "u": "v1", "v": "v2", "num_walks": 200}
     {"op": "top_k", "query": "v1", "k": 5, "candidates": ["v2", "v3"]}
     {"op": "top_k_pairs", "k": 3, "pairs": [["v1", "v2"], ["v2", "v3"]]}
+
+``pair`` responses carry the ``epoch`` and ``graph_version`` the answer was
+pinned to — under concurrent ingest (``--read-workers`` > 1 with mutations
+in flight) this names the exact graph state the score is bit-identical to.
 
 Control requests::
 
@@ -59,6 +66,7 @@ from repro.graph.io import read_edge_list
 from repro.graph.uncertain_graph import UncertainGraph, example_graph
 from repro.service.bundle_store import DEFAULT_BUDGET_BYTES
 from repro.service.service import (
+    INGEST_MODES,
     PairQuery,
     SimilarityService,
     TopKPairsQuery,
@@ -90,9 +98,16 @@ def _parse_query(record: dict):
     op = record.get("op")
     method = record.get("method", "sampling")
     graph = record.get("graph")
+    num_walks = record.get("num_walks")
+    if num_walks is not None:
+        num_walks = int(num_walks)
     if op == "pair":
         return PairQuery(
-            _require(record, "u"), _require(record, "v"), method=method, graph=graph
+            _require(record, "u"),
+            _require(record, "v"),
+            method=method,
+            graph=graph,
+            num_walks=num_walks,
         )
     if op == "top_k":
         candidates = record.get("candidates")
@@ -102,6 +117,7 @@ def _parse_query(record: dict):
             tuple(candidates) if candidates is not None else None,
             method=method,
             graph=graph,
+            num_walks=num_walks,
         )
     if op == "top_k_pairs":
         pairs = record.get("pairs")
@@ -110,6 +126,7 @@ def _parse_query(record: dict):
             tuple((u, v) for u, v in pairs) if pairs is not None else None,
             method=method,
             graph=graph,
+            num_walks=num_walks,
         )
     raise ValueError(
         f"unknown op {op!r}; expected pair, top_k, top_k_pairs, "
@@ -128,6 +145,13 @@ def _render_response(record: dict, query, outcome) -> dict:
     response = _base_response(record)
     if isinstance(query, PairQuery):
         response.update(u=query.u, v=query.v, score=outcome.score)
+        details = getattr(outcome, "details", None) or {}
+        if "epoch" in details:
+            # Which immutable snapshot answered: deterministic across runs
+            # (epoch ids count publications), so pinned-output tests hold.
+            response.update(
+                epoch=details["epoch"], graph_version=details["graph_version"]
+            )
     elif isinstance(query, TopKVertexQuery):
         response.update(
             query=query.query,
@@ -207,6 +231,27 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--executor", choices=EXECUTORS, default="serial")
     parser.add_argument(
+        "--read-workers",
+        type=int,
+        default=1,
+        help="size of the read pool answering query batches (answers are "
+        "bit-identical for every value)",
+    )
+    parser.add_argument(
+        "--ingest-mode",
+        choices=INGEST_MODES,
+        default="epoch",
+        help="'epoch' (default): mutations apply on the writer thread and "
+        "publish snapshots without stalling queries; 'serialized': the "
+        "pre-epoch inline path",
+    )
+    parser.add_argument(
+        "--max-num-walks",
+        type=int,
+        default=None,
+        help="admission cap on per-query num_walks overrides (default: none)",
+    )
+    parser.add_argument(
         "--store-budget-mb",
         type=float,
         default=DEFAULT_BUDGET_BYTES / (1024 * 1024),
@@ -247,6 +292,9 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
         num_workers=args.workers,
         executor=args.executor,
         store_budget_bytes=budget,
+        read_workers=args.read_workers,
+        ingest_mode=args.ingest_mode,
+        max_num_walks=args.max_num_walks,
         verify_mutations=args.verify_mutations,
     ) as service:
         # (record, query, future-or-error) triples of the current query run;

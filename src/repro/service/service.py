@@ -1,9 +1,10 @@
 """Batched similarity query service on top of :class:`SimRankEngine`.
 
 :class:`SimilarityService` is the serving layer of the library: callers
-submit pair, top-k-pairs, and top-k-for-vertex queries; a background worker
-drains the submission queue into batches, collects every walk bundle the
-batch needs, samples the *missing* ones in one sharded vectorized sweep
+submit pair, top-k-pairs, and top-k-for-vertex queries; a dispatcher thread
+drains the submission queue into batches, and a pool of *read workers*
+answers them.  Each batch collects every walk bundle it needs, samples the
+*missing* ones in one sharded vectorized sweep
 (:class:`~repro.service.sharding.ShardedWalkSampler`), and answers all
 queries of the batch from the shared
 :class:`~repro.service.bundle_store.WalkBundleStore`.  Bundles persist
@@ -14,22 +15,35 @@ One service process hosts many named graphs — *tenants* — through a
 :class:`~repro.service.tenancy.GraphRegistry`: every query carries an
 optional ``graph=`` field naming its tenant (``None`` routes to the default
 tenant), batches are split per tenant, and each tenant answers from its own
-bundle store, sampler scheme, and engine parameters.  Mutations arrive as
-:class:`~repro.service.tenancy.MutationLog` batches through
-:meth:`SimilarityService.mutate`; they travel the same worker queue as
-queries, so ingest is serialized with query batches — a query submitted
-after a mutation always sees the mutated graph.  Applying a log bumps the
-tenant's graph version, drops only that tenant's cached bundles, and patches
-the CSR snapshot incrementally instead of re-freezing the whole graph.
+bundle store, sampler scheme, and engine parameters.
+
+Reads and writes never block each other.  Every tenant batch pins an
+immutable :class:`~repro.service.epoch.EngineSnapshot` (a refcounted epoch
+lease, see :mod:`repro.service.epoch`) and answers entirely from it;
+mutation batches (:class:`~repro.service.tenancy.MutationLog`, ingested via
+:meth:`SimilarityService.mutate`) are applied by a dedicated single-writer
+thread that publishes the successor epoch atomically.  Submission order is
+still honoured per tenant: a query submitted *after* a mutation waits for
+that mutation's epoch (a per-tenant barrier), while queries submitted
+before it — and all queries of *other* tenants — proceed on their pinned
+epochs even while a large mutation batch is mid-apply.  Set
+``ingest_mode="serialized"`` to restore the old behaviour (mutations
+processed inline by the dispatcher, stalling every tenant's queries behind
+ingest) — kept as the comparison baseline of the epoch experiment.
 
 Because each tenant's sampler derives every walk from ``(seed, vertex, twin,
 shard)`` world keys, the service's answers are bit-identical across executor
-kinds and worker counts, and an evicted-then-resampled bundle reproduces
-exactly.
+kinds, worker counts, and ``read_workers`` settings — every answer equals a
+standalone engine built at the graph version its epoch pinned — and an
+evicted-then-resampled bundle reproduces exactly.
 
 Queries default to the paper's Sampling estimator (the one that benefits
-from bundle reuse); any other engine method is accepted and routed through
-the engine / top-k helpers as a per-query fallback sharing the engine caches.
+from bundle reuse) at the tenant's configured walk count; a per-query
+``num_walks=`` override (validated against the tenant's
+``max_num_walks`` admission cap) trades accuracy for latency per request.
+Any other engine method is accepted and routed through the engine / top-k
+helpers as a per-query fallback sharing the engine caches (serialized with
+ingest, since it reads the mutable graph).
 """
 
 from __future__ import annotations
@@ -38,7 +52,8 @@ import heapq
 import itertools
 import queue
 import threading
-from concurrent.futures import Future
+from concurrent.futures import Future, ThreadPoolExecutor
+from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
@@ -62,9 +77,9 @@ from repro.core.topk import (
     top_k_similar_pairs,
     top_k_similar_to,
 )
-from repro.graph.csr import CSRGraph
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.service.bundle_store import DEFAULT_BUDGET_BYTES, WalkBundleStore
+from repro.service.epoch import EngineSnapshot, EpochLease
 from repro.service.sharding import DEFAULT_SHARD_SIZE, ShardedWalkSampler
 from repro.service.tenancy import (
     DEFAULT_GRAPH_NAME,
@@ -80,19 +95,25 @@ Vertex = Hashable
 ScoredPair = Tuple[Vertex, Vertex, float]
 ScoredVertex = Tuple[Vertex, float]
 
+#: How mutation ingest is scheduled relative to query batches.
+INGEST_MODES = ("epoch", "serialized")
+
 
 @dataclass(frozen=True)
 class PairQuery:
     """Similarity of one vertex pair.
 
     ``graph`` names the tenant to answer from; ``None`` routes to the
-    service's default tenant (likewise for the other query types).
+    service's default tenant.  ``num_walks`` overrides the tenant's walk
+    count for this query only, subject to the tenant's ``max_num_walks``
+    admission cap (likewise for the other query types).
     """
 
     u: Vertex
     v: Vertex
     method: str = "sampling"
     graph: Optional[str] = None
+    num_walks: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -103,6 +124,7 @@ class TopKPairsQuery:
     candidate_pairs: Optional[Tuple[Tuple[Vertex, Vertex], ...]] = None
     method: str = "sampling"
     graph: Optional[str] = None
+    num_walks: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -114,14 +136,18 @@ class TopKVertexQuery:
     candidates: Optional[Tuple[Vertex, ...]] = None
     method: str = "sampling"
     graph: Optional[str] = None
+    num_walks: Optional[int] = None
 
 
 Query = Union[PairQuery, TopKPairsQuery, TopKVertexQuery]
 
+#: A bundle need: (dense vertex index, twin flag, walk count).
+BundleNeed = Tuple[int, bool, int]
+
 
 @dataclass
 class _MutationItem:
-    """A mutation-ingest work item travelling the same queue as queries."""
+    """A mutation-ingest work item routed to the writer."""
 
     graph: str
     log: MutationLog
@@ -137,21 +163,46 @@ _ALL_PAIRS = object()
 
 @dataclass
 class ServiceStats:
-    """Aggregate counters of one service instance."""
+    """Aggregate counters of one service instance.
+
+    All mutation happens through the ``record_*`` methods and all consistent
+    reads through :meth:`snapshot`, both under one internal lock — the
+    dispatcher, the writer thread, and any number of ``service_stats()``
+    pollers may race freely without torn reads.
+    """
 
     queries: int = 0
     batches: int = 0
     largest_batch: int = 0
     mutations: int = 0
     queries_by_kind: Dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record_batch(self, batch: Sequence[Query]) -> None:
-        self.batches += 1
-        self.queries += len(batch)
-        self.largest_batch = max(self.largest_batch, len(batch))
-        for query in batch:
-            kind = type(query).__name__
-            self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + 1
+        with self._lock:
+            self.batches += 1
+            self.queries += len(batch)
+            self.largest_batch = max(self.largest_batch, len(batch))
+            for query in batch:
+                kind = type(query).__name__
+                self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + 1
+
+    def record_mutation(self) -> None:
+        with self._lock:
+            self.mutations += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        """A consistent point-in-time copy of every counter."""
+        with self._lock:
+            return {
+                "queries": self.queries,
+                "batches": self.batches,
+                "largest_batch": self.largest_batch,
+                "mutations": self.mutations,
+                "queries_by_kind": dict(self.queries_by_kind),
+            }
 
 
 class SimilarityService:
@@ -163,13 +214,15 @@ class SimilarityService:
         Single-tenant convenience: the uncertain graph to serve.  It becomes
         the ``default_graph`` tenant of an internally owned
         :class:`~repro.service.tenancy.GraphRegistry`.  Direct mutations
-        between batches are picked up automatically (the tenant's bundle
-        store is invalidated on version change); batched ingest goes through
-        :meth:`mutate`.
+        between batches are picked up automatically (the next batch publishes
+        a fresh epoch); batched ingest goes through :meth:`mutate`.
     decay, iterations, num_walks:
         Default engine parameters of tenants created by this service;
-        ``num_walks`` is fixed per tenant so that every query of a batch
-        shares the same bundles.
+        ``num_walks`` is the per-tenant default walk count (queries may
+        override it per request).
+    max_num_walks:
+        Admission cap on per-query ``num_walks`` overrides of tenants
+        created by this service (``None`` = uncapped).
     seed:
         Base seed of the deterministic sharded sampling scheme (and of the
         engine used by non-sampling fallback methods).
@@ -181,9 +234,18 @@ class SimilarityService:
         Byte budget of each tenant's walk-bundle store (``None`` =
         unbounded).
     max_batch_size, batch_wait_seconds:
-        Coalescing knobs of the batch worker: a batch closes when it reaches
+        Coalescing knobs of the dispatcher: a batch closes when it reaches
         ``max_batch_size`` queries or the wait window expires with an empty
         queue.
+    read_workers:
+        Size of the read pool answering dispatched tenant batches.  Results
+        are bit-identical for every value; larger pools let batches of
+        different tenants (or consecutive batches of one tenant) overlap.
+    ingest_mode:
+        ``"epoch"`` (default): mutations run on the dedicated writer thread
+        and publish epochs without blocking queries.  ``"serialized"``: the
+        dispatcher applies mutations inline, stalling all queries behind
+        ingest — the pre-epoch behaviour, kept as an A/B baseline.
     registry:
         Host an existing :class:`~repro.service.tenancy.GraphRegistry`
         instead of (exclusive with) ``graph``.  The registry is *not* closed
@@ -195,7 +257,7 @@ class SimilarityService:
         :meth:`mutate` against a full rebuild (slow; a correctness canary).
 
     Use as a context manager (or call :meth:`close`) to stop the worker
-    thread and the sampler pools.
+    threads and the sampler pools.
     """
 
     def __init__(
@@ -211,6 +273,9 @@ class SimilarityService:
         store_budget_bytes: Optional[int] = DEFAULT_BUDGET_BYTES,
         max_batch_size: int = 64,
         batch_wait_seconds: float = 0.002,
+        read_workers: int = 1,
+        ingest_mode: str = "epoch",
+        max_num_walks: Optional[int] = None,
         registry: Optional[GraphRegistry] = None,
         default_graph: str = DEFAULT_GRAPH_NAME,
         verify_mutations: bool = False,
@@ -222,6 +287,14 @@ class SimilarityService:
         if batch_wait_seconds < 0:
             raise InvalidParameterError(
                 f"batch_wait_seconds must be >= 0, got {batch_wait_seconds}"
+            )
+        if read_workers < 1:
+            raise InvalidParameterError(
+                f"read_workers must be >= 1, got {read_workers}"
+            )
+        if ingest_mode not in INGEST_MODES:
+            raise InvalidParameterError(
+                f"unknown ingest_mode {ingest_mode!r}; expected one of {INGEST_MODES}"
             )
         if (graph is None) == (registry is None):
             raise InvalidParameterError(
@@ -246,6 +319,7 @@ class SimilarityService:
                     num_workers=num_workers,
                     executor=executor,
                     store_budget_bytes=store_budget_bytes,
+                    max_num_walks=max_num_walks,
                 ),
                 verify_mutations=verify_mutations,
             )
@@ -253,14 +327,28 @@ class SimilarityService:
             self.registry.create(default_graph, graph)
         self.max_batch_size = max_batch_size
         self.batch_wait_seconds = batch_wait_seconds
+        self.read_workers = int(read_workers)
+        self.ingest_mode = ingest_mode
         self.stats = ServiceStats()
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = False
         self._lifecycle_lock = threading.Lock()
-        self._worker = threading.Thread(
-            target=self._worker_loop, name="similarity-service", daemon=True
+        # Per-tenant ingest barrier: the Future of the last mutation routed
+        # to the writer.  Touched only by the dispatcher thread (the writer
+        # merely resolves the Future), so it needs no lock.
+        self._barriers: Dict[str, "Future"] = {}
+        self._read_pool = ThreadPoolExecutor(
+            max_workers=self.read_workers, thread_name_prefix="similarity-read"
         )
-        self._worker.start()
+        self._writer_queue: "queue.Queue" = queue.Queue()
+        self._writer = threading.Thread(
+            target=self._writer_loop, name="similarity-writer", daemon=True
+        )
+        self._writer.start()
+        self._dispatcher = threading.Thread(
+            target=self._dispatch_loop, name="similarity-service", daemon=True
+        )
+        self._dispatcher.start()
 
     # -- tenant access --------------------------------------------------------
 
@@ -291,7 +379,13 @@ class SimilarityService:
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
-        """Drain pending work, stop the worker, and shut down owned pools."""
+        """Drain pending work, stop the worker threads, shut down the pools.
+
+        Shutdown order matters: the dispatcher drains first (it may still
+        route mutations to the writer and batches to the read pool), then
+        the writer (resolving every ingest barrier a queued read task may be
+        waiting on), then the read pool.
+        """
         with self._lifecycle_lock:
             if self._closed:
                 already_closed = True
@@ -303,7 +397,10 @@ class SimilarityService:
                 self._queue.put(_SHUTDOWN)
         if already_closed:
             return
-        self._worker.join()
+        self._dispatcher.join()
+        self._writer_queue.put(_SHUTDOWN)
+        self._writer.join()
+        self._read_pool.shutdown(wait=True)
         # Defensive: nothing should follow the sentinel (see above), but a
         # stranded future must never hang its caller.
         while True:
@@ -350,9 +447,12 @@ class SimilarityService:
         v: Vertex,
         method: str = "sampling",
         graph: Optional[str] = None,
+        num_walks: Optional[int] = None,
     ) -> SimRankResult:
         """Blocking single-pair similarity query."""
-        return self.submit(PairQuery(u, v, method=method, graph=graph)).result()
+        return self.submit(
+            PairQuery(u, v, method=method, graph=graph, num_walks=num_walks)
+        ).result()
 
     def top_k_pairs(
         self,
@@ -360,6 +460,7 @@ class SimilarityService:
         candidate_pairs: Optional[Sequence[Tuple[Vertex, Vertex]]] = None,
         method: str = "sampling",
         graph: Optional[str] = None,
+        num_walks: Optional[int] = None,
     ) -> List[ScoredPair]:
         """Blocking top-k-pairs query."""
         pairs = (
@@ -367,7 +468,9 @@ class SimilarityService:
             if candidate_pairs is not None
             else None
         )
-        return self.submit(TopKPairsQuery(k, pairs, method=method, graph=graph)).result()
+        return self.submit(
+            TopKPairsQuery(k, pairs, method=method, graph=graph, num_walks=num_walks)
+        ).result()
 
     def top_k_for_vertex(
         self,
@@ -376,11 +479,14 @@ class SimilarityService:
         candidates: Optional[Sequence[Vertex]] = None,
         method: str = "sampling",
         graph: Optional[str] = None,
+        num_walks: Optional[int] = None,
     ) -> List[ScoredVertex]:
         """Blocking top-k-for-vertex query."""
         chosen = tuple(candidates) if candidates is not None else None
         return self.submit(
-            TopKVertexQuery(query, k, chosen, method=method, graph=graph)
+            TopKVertexQuery(
+                query, k, chosen, method=method, graph=graph, num_walks=num_walks
+            )
         ).result()
 
     # -- tenant lifecycle and mutation ingest ----------------------------------
@@ -407,10 +513,12 @@ class SimilarityService:
     ) -> "Future":
         """Enqueue a mutation batch for one tenant; returns a Future.
 
-        The item travels the same queue as queries, so the worker serializes
-        it with query batches: queries submitted before the log are answered
-        on the old graph, queries submitted after it on the new one.  The
-        Future resolves to a :class:`~repro.service.tenancy.MutationReport`.
+        The item travels the submission queue to keep per-tenant ordering:
+        queries submitted before the log pin the pre-mutation epoch; queries
+        submitted after it wait for the mutation's epoch (and only they —
+        other tenants are never stalled).  The Future resolves to a
+        :class:`~repro.service.tenancy.MutationReport` once the writer has
+        published the new epoch.
         """
         if not isinstance(log, MutationLog):
             raise InvalidParameterError(
@@ -431,21 +539,19 @@ class SimilarityService:
     # -- introspection ---------------------------------------------------------
 
     def service_stats(self) -> Dict[str, object]:
-        """Batching, mutation, and per-tenant bundle-store counters.
+        """Batching, mutation, epoch, and per-tenant bundle-store counters.
 
         The flat ``store`` / ``store_entries`` / ``store_bytes`` keys mirror
         the default tenant (kept for single-tenant callers and older
         clients); ``tenants`` holds the per-tenant breakdown, including each
-        tenant's own hit/miss/eviction counters.
+        tenant's own hit/miss/eviction counters and epoch accounting
+        (``epochs``: published / freed / live / pinned — ``live`` returns to
+        1 and ``pinned`` to 0 when readers drain, the snapshot-leak check).
         """
-        stats: Dict[str, object] = {
-            "queries": self.stats.queries,
-            "batches": self.stats.batches,
-            "largest_batch": self.stats.largest_batch,
-            "mutations": self.stats.mutations,
-            "queries_by_kind": dict(self.stats.queries_by_kind),
-            "tenants": self.registry.stats(),
-        }
+        stats: Dict[str, object] = self.stats.snapshot()
+        stats["read_workers"] = self.read_workers
+        stats["ingest_mode"] = self.ingest_mode
+        stats["tenants"] = self.registry.stats()
         if self.default_graph in self.registry:
             default_tenant = self.registry.get(self.default_graph)
             stats["store"] = default_tenant.store.stats.as_dict()
@@ -453,25 +559,27 @@ class SimilarityService:
             stats["store_bytes"] = default_tenant.store.current_bytes
         return stats
 
-    # -- the batch worker ------------------------------------------------------
+    # -- the dispatcher / writer threads ---------------------------------------
 
-    def _worker_loop(self) -> None:
-        carried: Optional[_MutationItem] = None
-        while True:
-            if carried is not None:
-                item, carried = carried, None
-            else:
-                item = self._queue.get()
+    def _dispatch_loop(self) -> None:
+        """Coalesce submissions into batches and hand them to the read pool.
+
+        Mutations end the batch being coalesced (per-tenant ordering: the
+        batch's queries were submitted first, so its epochs are pinned
+        *before* the mutation is routed) and are then either forwarded to
+        the writer thread (``ingest_mode="epoch"``) or applied inline
+        (``"serialized"``).
+        """
+        shutdown = False
+        while not shutdown:
+            item = self._queue.get()
             if item is _SHUTDOWN:
                 return
             if isinstance(item, _MutationItem):
-                self._process_mutation(item)
+                self._route_mutation(item)
                 continue
             batch = [item]
-            # Coalesce: keep pulling until the queue stays empty for the wait
-            # window, the batch is full, or a mutation arrives (mutations are
-            # batch barriers: they carry over and run alone, after the batch).
-            shutdown = False
+            trailing: Optional[_MutationItem] = None
             while len(batch) < self.max_batch_size:
                 try:
                     item = self._queue.get(timeout=self.batch_wait_seconds)
@@ -481,22 +589,38 @@ class SimilarityService:
                     shutdown = True
                     break
                 if isinstance(item, _MutationItem):
-                    carried = item
+                    trailing = item
                     break
                 batch.append(item)
             try:
-                self._process_batch(batch)
+                self._dispatch_batch(batch)
             except Exception as error:
-                # The worker must survive anything — a dead worker would hang
-                # every pending and future caller.  _process_batch isolates
-                # per-query errors; whatever still escapes fails the batch.
+                # The dispatcher must survive anything — a dead dispatcher
+                # would hang every pending and future caller.
                 for _, future in batch:
                     _resolve(future, error=error)
-            if shutdown:
+            if trailing is not None:
+                self._route_mutation(trailing)
+
+    def _route_mutation(self, item: _MutationItem) -> None:
+        if self.ingest_mode == "serialized":
+            # The pre-epoch path: apply inline, stalling the dispatcher (and
+            # with it every tenant's queries) for the duration of the apply.
+            self._process_mutation(item)
+            return
+        self._barriers[item.graph] = item.future
+        self._writer_queue.put(item)
+
+    def _writer_loop(self) -> None:
+        """The single writer: applies mutation logs and publishes epochs."""
+        while True:
+            item = self._writer_queue.get()
+            if item is _SHUTDOWN:
                 return
+            self._process_mutation(item)
 
     def _process_mutation(self, item: _MutationItem) -> None:
-        self.stats.mutations += 1
+        self.stats.record_mutation()
         try:
             report = self.registry.get(item.graph).apply(
                 item.log,
@@ -507,10 +631,10 @@ class SimilarityService:
             return
         _resolve(item.future, result=report)
 
-    def _process_batch(self, batch: List[Tuple[Query, "Future"]]) -> None:
+    def _dispatch_batch(self, batch: List[Tuple[Query, "Future"]]) -> None:
         self.stats.record_batch([query for query, _ in batch])
-        # Split the batch per tenant; each group plans, samples, and answers
-        # against its own graph snapshot, sampler, and bundle store.
+        # Split the batch per tenant; each group pins its tenant's epoch and
+        # runs on the read pool against that immutable snapshot.
         groups: Dict[str, List[Tuple[Query, "Future"]]] = {}
         for query, future in batch:
             name = self.default_graph if query.graph is None else query.graph
@@ -522,40 +646,81 @@ class SimilarityService:
                 for _, future in items:
                     _resolve(future, error=error)
                 continue
-            self._process_tenant_batch(tenant, items)
+            barrier = self._barriers.get(name)
+            if barrier is not None and barrier.done():
+                del self._barriers[name]
+                barrier = None
+            lease: Optional[EpochLease] = None
+            if barrier is None:
+                # Pin here, in submission order: the epoch is leased before
+                # any later-submitted mutation can publish its successor.
+                try:
+                    lease = tenant.pin_epoch()
+                except Exception as error:
+                    for _, future in items:
+                        _resolve(future, error=error)
+                    continue
+            self._read_pool.submit(self._run_tenant_batch, tenant, items, lease, barrier)
+
+    def _run_tenant_batch(
+        self,
+        tenant: GraphTenant,
+        items: List[Tuple[Query, "Future"]],
+        lease: Optional[EpochLease],
+        barrier: Optional["Future"],
+    ) -> None:
+        """Read-pool task: answer one tenant group against its pinned epoch."""
+        if lease is None:
+            # These queries were submitted after a mutation still in flight:
+            # wait for its epoch.  futures_wait (not .result()) because the
+            # outcome is irrelevant — a failed ingest leaves the graph (and
+            # the current epoch) unchanged, and a client-cancelled mutation
+            # must not raise CancelledError (a BaseException) past this
+            # task's error handling and strand every query in the group.
+            if barrier is not None:
+                futures_wait([barrier])
+            try:
+                lease = tenant.pin_epoch()
+            except Exception as error:
+                for _, future in items:
+                    _resolve(future, error=error)
+                return
+        try:
+            with lease:
+                self._process_tenant_batch(tenant, lease.snapshot, items)
+        except Exception as error:
+            # _process_tenant_batch isolates per-query errors; whatever still
+            # escapes fails the group, never the pool worker.
+            for _, future in items:
+                _resolve(future, error=error)
 
     def _process_tenant_batch(
-        self, tenant: GraphTenant, batch: List[Tuple[Query, "Future"]]
+        self,
+        tenant: GraphTenant,
+        snapshot: EngineSnapshot,
+        batch: List[Tuple[Query, "Future"]],
     ) -> None:
-        try:
-            csr = CSRGraph.from_uncertain(tenant.graph)
-            tenant.store.sync_version((id(tenant.graph), tenant.graph.version))
-        except Exception as error:  # pragma: no cover - defensive
-            for _, future in batch:
-                _resolve(future, error=error)
-            return
-
         # Validate and plan every query, isolating per-query failures.
         plans: List[Tuple[Query, "Future", object]] = []
-        needs: List[Tuple[int, bool]] = []
+        needs: List[BundleNeed] = []
         seen_needs = set()
 
-        def need(vertex_index: int, twin: bool) -> None:
-            request = (vertex_index, twin)
+        def need(vertex_index: int, twin: bool, num_walks: int) -> None:
+            request = (vertex_index, twin, num_walks)
             if request not in seen_needs:
                 seen_needs.add(request)
                 needs.append(request)
 
         for query, future in batch:
             try:
-                plan = self._plan(query, csr, need)
+                plan = self._plan(tenant, snapshot, query, need)
             except Exception as error:
                 _resolve(future, error=error)
                 continue
             plans.append((query, future, plan))
 
         try:
-            bundles = self._ensure_bundles(tenant, csr, needs)
+            bundles = self._ensure_bundles(tenant, snapshot, needs)
         except Exception as error:
             # e.g. a broken worker pool: fail the whole batch, keep serving.
             for _, future, _ in plans:
@@ -565,23 +730,45 @@ class SimilarityService:
         for query, future, plan in plans:
             try:
                 _resolve(
-                    future, result=self._answer(tenant, query, csr, plan, bundles)
+                    future,
+                    result=self._answer(tenant, snapshot, query, plan, bundles),
                 )
             except Exception as error:
                 _resolve(future, error=error)
 
     # -- planning and answering ------------------------------------------------
 
-    def _plan(self, query: Query, csr: CSRGraph, need) -> object:
+    def _effective_num_walks(
+        self, tenant: GraphTenant, snapshot: EngineSnapshot, query: Query
+    ) -> int:
+        """The walk count this query runs at, validated against the cap."""
+        if query.num_walks is None:
+            return snapshot.num_walks
+        walks = int(query.num_walks)
+        if walks < 1:
+            raise InvalidParameterError(f"num_walks must be >= 1, got {walks}")
+        cap = tenant.config.max_num_walks
+        if cap is not None and walks > cap:
+            raise InvalidParameterError(
+                f"num_walks={walks} exceeds graph {tenant.name!r} admission "
+                f"cap max_num_walks={cap}"
+            )
+        return walks
+
+    def _plan(
+        self, tenant: GraphTenant, snapshot: EngineSnapshot, query: Query, need
+    ) -> object:
         """Resolve vertices, register bundle needs, and return an answer plan."""
+        walks = self._effective_num_walks(tenant, snapshot, query)
         if query.method != "sampling":
             return None  # engine fallback; no bundles needed
+        csr = snapshot.csr
         if isinstance(query, PairQuery):
             u_index = csr.index_of(query.u)
             v_index = csr.index_of(query.v)
-            need(u_index, False)
-            need(v_index, u_index == v_index)
-            return (u_index, v_index)
+            need(u_index, False, walks)
+            need(v_index, u_index == v_index, walks)
+            return (u_index, v_index, walks)
         if isinstance(query, TopKVertexQuery):
             if query.k < 1:
                 raise InvalidParameterError(f"k must be >= 1, got {query.k}")
@@ -591,10 +778,10 @@ class SimilarityService:
             else:
                 candidates = [v for v in query.candidates if v != query.query]
             candidate_indices = [csr.index_of(v) for v in candidates]
-            need(query_index, False)
+            need(query_index, False, walks)
             for index in candidate_indices:
-                need(index, False)
-            return (query_index, candidates, candidate_indices)
+                need(index, False, walks)
+            return (query_index, candidates, candidate_indices, walks)
         if query.k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {query.k}")
         if query.candidate_pairs is None:
@@ -602,127 +789,146 @@ class SimilarityService:
             # _answer rather than planned here: registering a bundle need for
             # every vertex would pin all bundles live at once, defeating both
             # the store's LRU budget and the chunked top_k_similar_pairs.
-            return _ALL_PAIRS
+            return (_ALL_PAIRS, walks)
         pairs = list(query.candidate_pairs)
         pair_indices = []
         for u, v in pairs:
             u_index = csr.index_of(u)
             v_index = csr.index_of(v)
-            need(u_index, False)
-            need(v_index, u_index == v_index)
+            need(u_index, False, walks)
+            need(v_index, u_index == v_index, walks)
             pair_indices.append((u_index, v_index))
-        return (pairs, pair_indices)
+        return (pairs, pair_indices, walks)
 
     def _ensure_bundles(
-        self, tenant: GraphTenant, csr: CSRGraph, needs: Sequence[Tuple[int, bool]]
-    ) -> Dict[Tuple[int, bool], np.ndarray]:
-        """Serve needs from the tenant's store; sample misses in one sweep.
+        self,
+        tenant: GraphTenant,
+        snapshot: EngineSnapshot,
+        needs: Sequence[BundleNeed],
+    ) -> Dict[BundleNeed, np.ndarray]:
+        """Serve needs from the epoch's store view; sample misses in a sweep.
 
         The returned dict holds direct references for the duration of the
         batch, so concurrent evictions cannot pull a bundle out from under a
-        query that planned on it.
+        query that planned on it.  Lookups and inserts go through the
+        snapshot's :class:`~repro.service.epoch.VersionedStoreView`, so a
+        batch on a retiring epoch can neither read a newer version's bundle
+        nor leak its own into the successor's cache.
         """
-        iterations = tenant.engine.iterations
-        num_walks = tenant.engine.num_walks
-        bundles: Dict[Tuple[int, bool], np.ndarray] = {}
-        missing: List[Tuple[int, bool]] = []
+        iterations = snapshot.iterations
+        bundles: Dict[BundleNeed, np.ndarray] = {}
+        missing: List[BundleNeed] = []
         for request in needs:
-            cached = tenant.store.get(
-                tenant.sampler.store_key(request[0], request[1], iterations, num_walks)
+            vertex_index, twin, walks = request
+            cached = snapshot.store_view.get(
+                tenant.sampler.store_key(vertex_index, twin, iterations, walks)
             )
             if cached is None:
                 missing.append(request)
             else:
                 bundles[request] = cached
-        if missing:
-            sampled = tenant.sampler.sample_bundles(csr, missing, iterations, num_walks)
-            for request, bundle in sampled.items():
-                tenant.store.put(
-                    tenant.sampler.store_key(
-                        request[0], request[1], iterations, num_walks
-                    ),
+        by_walks: Dict[int, List[BundleNeed]] = {}
+        for request in missing:
+            by_walks.setdefault(request[2], []).append(request)
+        for walks, group in by_walks.items():
+            sampled = tenant.sampler.sample_bundles(
+                snapshot.csr,
+                [(vertex_index, twin) for vertex_index, twin, _ in group],
+                iterations,
+                walks,
+            )
+            for vertex_index, twin, _ in group:
+                bundle = sampled[(vertex_index, twin)]
+                snapshot.store_view.put(
+                    tenant.sampler.store_key(vertex_index, twin, iterations, walks),
                     bundle,
                 )
-                bundles[request] = bundle
+                bundles[(vertex_index, twin, walks)] = bundle
         return bundles
 
     def _score_from_meetings(
-        self, tenant: GraphTenant, meetings: Sequence[float]
+        self, snapshot: EngineSnapshot, meetings: Sequence[float]
     ) -> float:
-        return simrank_from_meeting_probabilities(meetings, tenant.engine.decay)
+        return simrank_from_meeting_probabilities(meetings, snapshot.decay)
 
     def _answer(
         self,
         tenant: GraphTenant,
+        snapshot: EngineSnapshot,
         query: Query,
-        csr: CSRGraph,
         plan: object,
-        bundles: Dict[Tuple[int, bool], np.ndarray],
+        bundles: Dict[BundleNeed, np.ndarray],
     ) -> object:
         if plan is None:
-            return self._answer_fallback(tenant, query)
-        iterations = tenant.engine.iterations
+            return self._answer_fallback(tenant, snapshot, query)
+        iterations = snapshot.iterations
         if isinstance(query, PairQuery):
-            u_index, v_index = plan
+            u_index, v_index, walks = plan
             same = u_index == v_index
             meetings = meeting_probabilities_from_matrices(
-                bundles[(u_index, False)],
-                bundles[(v_index, same)],
+                bundles[(u_index, False, walks)],
+                bundles[(v_index, same, walks)],
                 iterations,
                 same,
             )
             return SimRankResult(
                 u=query.u,
                 v=query.v,
-                score=self._score_from_meetings(tenant, meetings),
+                score=self._score_from_meetings(snapshot, meetings),
                 meeting_probabilities=tuple(meetings),
-                decay=tenant.engine.decay,
+                decay=snapshot.decay,
                 iterations=iterations,
                 method="sampling",
                 details={
-                    "num_walks": tenant.engine.num_walks,
+                    "num_walks": walks,
                     "backend": "vectorized",
                     "shared_bundles": True,
                     "service": True,
                     "graph": tenant.name,
+                    "epoch": snapshot.epoch_id,
+                    "graph_version": snapshot.graph_version,
                 },
             )
         if isinstance(query, TopKVertexQuery):
-            query_index, candidates, candidate_indices = plan
+            query_index, candidates, candidate_indices, walks = plan
             if not candidates:
                 return []
             tails = meeting_probabilities_against_many(
-                bundles[(query_index, False)],
-                [bundles[(index, False)] for index in candidate_indices],
+                bundles[(query_index, False, walks)],
+                [bundles[(index, False, walks)] for index in candidate_indices],
                 iterations,
             )
             # m(0) = 0 for every candidate (the query itself is excluded).
             # Combined with the same scalar formula as pair queries so that a
             # top-k entry and the corresponding pair query agree bit-for-bit.
             scores = [
-                self._score_from_meetings(tenant, [0.0] + row.tolist())
+                self._score_from_meetings(snapshot, [0.0] + row.tolist())
                 for row in tails
             ]
             order = rank_top_k(query.k, scores)
             return [(candidates[index], scores[index]) for index in order]
-        if plan is _ALL_PAIRS:
-            return self._answer_all_pairs_streamed(tenant, query, csr)
-        pairs, pair_indices = plan
+        if plan[0] is _ALL_PAIRS:
+            return self._answer_all_pairs_streamed(tenant, snapshot, query, plan[1])
+        pairs, pair_indices, walks = plan
         scores = []
         for u_index, v_index in pair_indices:
             same = u_index == v_index
             meetings = meeting_probabilities_from_matrices(
-                bundles[(u_index, False)],
-                bundles[(v_index, same)],
+                bundles[(u_index, False, walks)],
+                bundles[(v_index, same, walks)],
                 iterations,
                 same,
             )
-            scores.append(self._score_from_meetings(tenant, meetings))
+            scores.append(self._score_from_meetings(snapshot, meetings))
         order = rank_top_k(query.k, scores)
         return [(pairs[index][0], pairs[index][1], scores[index]) for index in order]
 
     def _answer_all_pairs_streamed(
-        self, tenant: GraphTenant, query: TopKPairsQuery, csr: CSRGraph
+        self,
+        tenant: GraphTenant,
+        snapshot: EngineSnapshot,
+        query: TopKPairsQuery,
+        walks: int,
     ) -> List[ScoredPair]:
         """Top-k over the default quadratic pair space, chunk by chunk.
 
@@ -731,29 +937,33 @@ class SimilarityService:
         the cache) and feeds a bounded heap; memory stays O(k + chunk) no
         matter the graph size.  Tie-breaking matches :func:`rank_top_k`.
         """
-        iterations = tenant.engine.iterations
+        csr = snapshot.csr
+        iterations = snapshot.iterations
         best: List[Tuple[float, int, Vertex, Vertex]] = []
         counter = 0
         chunk: List[Tuple[Vertex, Vertex]] = []
 
         def score_chunk() -> None:
             nonlocal counter
-            needs: List[Tuple[int, bool]] = []
+            needs: List[BundleNeed] = []
             seen = set()
             pair_indices = []
             for u, v in chunk:
                 u_index, v_index = csr.index_of(u), csr.index_of(v)
-                for request in ((u_index, False), (v_index, False)):
+                for request in ((u_index, False, walks), (v_index, False, walks)):
                     if request not in seen:
                         seen.add(request)
                         needs.append(request)
                 pair_indices.append((u_index, v_index))
-            bundles = self._ensure_bundles(tenant, csr, needs)
+            bundles = self._ensure_bundles(tenant, snapshot, needs)
             for (u, v), (u_index, v_index) in zip(chunk, pair_indices):
                 meetings = meeting_probabilities_from_matrices(
-                    bundles[(u_index, False)], bundles[(v_index, False)], iterations, False
+                    bundles[(u_index, False, walks)],
+                    bundles[(v_index, False, walks)],
+                    iterations,
+                    False,
                 )
-                item = (self._score_from_meetings(tenant, meetings), -counter, u, v)
+                item = (self._score_from_meetings(snapshot, meetings), -counter, u, v)
                 if len(best) < query.k:
                     heapq.heappush(best, item)
                 elif item > best[0]:
@@ -770,26 +980,53 @@ class SimilarityService:
         ranked = sorted(best, reverse=True)
         return [(u, v, score) for score, _, u, v in ranked]
 
-    def _answer_fallback(self, tenant: GraphTenant, query: Query) -> object:
-        """Non-sampling methods, routed through the engine / top-k helpers."""
-        if isinstance(query, PairQuery):
-            return tenant.engine.similarity(query.u, query.v, method=query.method)
-        if isinstance(query, TopKVertexQuery):
-            return top_k_similar_to(
+    def _answer_fallback(
+        self, tenant: GraphTenant, snapshot: EngineSnapshot, query: Query
+    ) -> object:
+        """Non-sampling methods, routed through the engine / top-k helpers.
+
+        The engine reads the mutable dict graph and draws from a stateful
+        generator, so fallback answering serializes with ingest under the
+        tenant's write lock; it reports the live graph version at execution
+        time rather than a pinned epoch.  In the common case — no mutation
+        landed since the pin — the live version equals the snapshot's and
+        the answer is computed from the epoch's pinned caches (α cache,
+        SR-SP filters); after a mutation the engine's own refreshed caches
+        take over, since the pinned ones describe a graph state the dict
+        graph no longer holds.
+        """
+        overrides: Dict[str, object] = {}
+        if query.num_walks is not None and query.method != "baseline":
+            overrides["num_walks"] = int(query.num_walks)
+        with tenant.write_lock:
+            if tenant.graph.version == snapshot.graph_version:
+                overrides["alpha_cache"] = snapshot.caches.alpha_cache
+            if isinstance(query, PairQuery):
+                return tenant.engine.similarity(
+                    query.u, query.v, method=query.method, **overrides
+                )
+            if isinstance(query, TopKVertexQuery):
+                return top_k_similar_to(
+                    tenant.engine,
+                    query.query,
+                    query.k,
+                    candidates=(
+                        list(query.candidates) if query.candidates is not None else None
+                    ),
+                    method=query.method,
+                    **overrides,
+                )
+            return top_k_similar_pairs(
                 tenant.engine,
-                query.query,
                 query.k,
-                candidates=list(query.candidates) if query.candidates is not None else None,
+                candidate_pairs=(
+                    list(query.candidate_pairs)
+                    if query.candidate_pairs is not None
+                    else None
+                ),
                 method=query.method,
+                **overrides,
             )
-        return top_k_similar_pairs(
-            tenant.engine,
-            query.k,
-            candidate_pairs=(
-                list(query.candidate_pairs) if query.candidate_pairs is not None else None
-            ),
-            method=query.method,
-        )
 
 
 def _resolve(future: "Future", result: object = None, error: "Exception | None" = None) -> None:
@@ -797,8 +1034,8 @@ def _resolve(future: "Future", result: object = None, error: "Exception | None" 
 
     Futures handed out by :meth:`SimilarityService.submit` are never marked
     running, so clients may legitimately ``cancel()`` them at any point; a
-    cancelled (or otherwise already-settled) future must not take the batch
-    worker down with an ``InvalidStateError``.
+    cancelled (or otherwise already-settled) future must not take a worker
+    down with an ``InvalidStateError``.
     """
     if not future.set_running_or_notify_cancel():
         return

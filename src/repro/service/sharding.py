@@ -31,6 +31,7 @@ Executor kinds:
 
 from __future__ import annotations
 
+import threading
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
@@ -126,11 +127,20 @@ class ShardedWalkSampler:
         # process pool carries copies of these arrays, and comparing by
         # identity is only sound while the object cannot be id-recycled.
         self._pool_csr: Optional[CSRGraph] = None
+        # Guards pool creation/recreation: the service's read workers may
+        # sample concurrently (even against different pinned snapshots), and
+        # a process pool being re-initialized for one snapshot must not be
+        # torn down under a batch submitting to it for another.
+        self._pool_lock = threading.Lock()
 
     # -- lifecycle ------------------------------------------------------------
 
     def close(self) -> None:
         """Shut down the worker pool (no-op for the serial executor)."""
+        with self._pool_lock:
+            self._close_locked()
+
+    def _close_locked(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
@@ -142,18 +152,33 @@ class ShardedWalkSampler:
     def __exit__(self, *exc_info: object) -> None:
         self.close()
 
-    def _pool_for(self, csr: CSRGraph) -> Executor:
+    def _thread_pool(self) -> Executor:
+        """The (csr-independent) thread pool, created once and kept.
+
+        Thread tasks receive the snapshot per call, so one pool serves every
+        graph version concurrently — no churn across epochs.
+        """
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(max_workers=self.num_workers)
+            return self._pool
+
+    def _process_pool_locked(self, csr: CSRGraph) -> Executor:
+        """The process pool initialized for ``csr`` (caller holds the lock).
+
+        Worker processes carry the CSR arrays from the pool initializer, so
+        a pool is bound to one snapshot and rebuilt when it changes; callers
+        keep the lock for submit + drain, serializing process-pool batches
+        of different snapshots against each other.
+        """
         if self._pool is not None and self._pool_csr is csr:
             return self._pool
-        self.close()
-        if self.executor == "thread":
-            self._pool = ThreadPoolExecutor(max_workers=self.num_workers)
-        else:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.num_workers,
-                initializer=_init_worker,
-                initargs=(csr.indptr, csr.indices, csr.probs),
-            )
+        self._close_locked()
+        self._pool = ProcessPoolExecutor(
+            max_workers=self.num_workers,
+            initializer=_init_worker,
+            initargs=(csr.indptr, csr.indices, csr.probs),
+        )
         self._pool_csr = csr
         return self._pool
 
@@ -261,17 +286,25 @@ class ShardedWalkSampler:
             task_count = min(len(units), self.num_workers * 2)
             blocks = [list(block) for block in np.array_split(np.arange(len(units)), task_count)]
             blocks = [[units[i] for i in block] for block in blocks if len(block)]
-            pool = self._pool_for(csr)
-            futures = []
-            for block in blocks:
-                sources, keys = pack(block)
-                if self.executor == "thread":
+            if self.executor == "thread":
+                pool = self._thread_pool()
+                futures = []
+                for block in blocks:
+                    sources, keys = pack(block)
                     futures.append(
                         pool.submit(sample_walk_matrix_keyed, csr, sources, length, keys)
                     )
-                else:
-                    futures.append(pool.submit(_process_task, sources, keys, length))
-            matrices = [future.result() for future in futures]
+                matrices = [future.result() for future in futures]
+            else:
+                # Hold the pool lock across submit + drain: another epoch's
+                # batch must not re-initialize the pool out from under us.
+                with self._pool_lock:
+                    pool = self._process_pool_locked(csr)
+                    futures = []
+                    for block in blocks:
+                        sources, keys = pack(block)
+                        futures.append(pool.submit(_process_task, sources, keys, length))
+                    matrices = [future.result() for future in futures]
 
         # Reassemble: walk rows come back in unit order within each block.
         pieces: Dict[BundleRequest, List[np.ndarray]] = {request: [] for request in unique}

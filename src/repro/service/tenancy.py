@@ -26,11 +26,18 @@ adjacency rows are copied from the previous snapshot, so the per-mutation
 cost scales with the mutation batch rather than the graph.  A ``verify``
 mode cross-checks every incremental rebuild against a full re-freeze.
 
-Thread safety: the registry's lifecycle operations are lock-protected, and
-tenants mutated through :meth:`SimilarityService.mutate` are serialized with
-query batches by the service's worker thread.  Callers that apply mutations
-directly (:meth:`GraphRegistry.apply`) while a service is answering queries
-on the same tenant must provide their own ordering.
+Thread safety: each tenant is a single-writer / multi-reader structure.
+Mutation ingest (:meth:`GraphTenant.apply`) runs under the tenant's write
+lock and finishes by *publishing a new epoch* — an immutable
+:class:`~repro.service.epoch.EngineSnapshot` installed atomically through
+the tenant's :class:`~repro.service.epoch.EpochManager`.  Readers
+(:meth:`GraphTenant.pin_epoch`) lease whatever epoch is current and keep
+answering from it even while the next mutation batch is being applied; a
+retired epoch is freed when its last lease drains.  The registry's
+lifecycle operations are lock-protected.  Callers that mutate a tenant's
+graph *directly* (bypassing :meth:`apply`) while readers are pinned must
+provide their own ordering — the next :meth:`pin_epoch` picks the change up
+by publishing a fresh epoch.
 """
 
 from __future__ import annotations
@@ -46,6 +53,12 @@ from repro.core.simrank import DEFAULT_DECAY, DEFAULT_ITERATIONS
 from repro.graph.csr import CSRGraph
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.service.bundle_store import DEFAULT_BUDGET_BYTES, WalkBundleStore
+from repro.service.epoch import (
+    EngineSnapshot,
+    EpochLease,
+    EpochManager,
+    VersionedStoreView,
+)
 from repro.service.sharding import DEFAULT_SHARD_SIZE, EXECUTORS, ShardedWalkSampler
 from repro.utils.errors import InvalidParameterError
 
@@ -248,6 +261,9 @@ class TenantConfig:
     num_workers: int = 1
     executor: str = "serial"
     store_budget_bytes: Optional[int] = DEFAULT_BUDGET_BYTES
+    #: Admission cap on per-query ``num_walks`` overrides (``None`` = no cap;
+    #: the tenant's configured ``num_walks`` default is always admitted).
+    max_num_walks: Optional[int] = None
 
     def replace(self, **overrides: object) -> "TenantConfig":
         """A copy with the given fields overridden (unknown fields rejected)."""
@@ -307,12 +323,23 @@ class GraphTenant:
     :class:`~repro.core.engine.SimRankEngine` wired to the store — so that
     tenants never contend for cache budget and a mutation of one tenant
     cannot invalidate another's bundles.
+
+    Concurrency model (single writer, epoch-pinned readers): all mutation
+    of tenant state happens under :attr:`write_lock` and ends by publishing
+    a fresh immutable :class:`~repro.service.epoch.EngineSnapshot` through
+    :attr:`epochs`.  Readers never take the write lock on the hot path —
+    :meth:`pin_epoch` is a refcount bump — so a large mutation batch being
+    applied does not stall queries on this or any other tenant.
     """
 
     def __init__(self, name: str, graph: UncertainGraph, config: TenantConfig) -> None:
         if config.executor not in EXECUTORS:
             raise InvalidParameterError(
                 f"unknown executor {config.executor!r}; expected one of {EXECUTORS}"
+            )
+        if config.max_num_walks is not None and config.max_num_walks < 1:
+            raise InvalidParameterError(
+                f"max_num_walks must be >= 1 or None, got {config.max_num_walks}"
             )
         self.name = name
         self.graph = graph
@@ -332,51 +359,121 @@ class GraphTenant:
             seed=config.seed,
             bundle_store=self.store,
         )
+        self.epochs = EpochManager()
+        #: Serializes writers (mutation ingest, epoch refresh) and the
+        #: engine-fallback query path, which reads the mutable dict graph.
+        self.write_lock = threading.Lock()
+        self._applying = False
         self.mutations_applied = 0
         self.ops_applied = 0
+
+    # -- epoch publication and pinning ----------------------------------------
+
+    def pin_epoch(self) -> EpochLease:
+        """Lease the tenant's current epoch, publishing one if needed.
+
+        The fast path — a current epoch exists and matches the graph's
+        mutation version, or the writer is mid-apply (its publish is coming;
+        readers not ordered after it belong on the old epoch) — is a single
+        refcount bump.  The slow path takes the write lock: first pin ever,
+        or a caller mutated the graph *directly* (bypassing :meth:`apply`),
+        in which case a fresh epoch is published from the current state so
+        direct mutations keep being picked up between batches.
+        """
+        current = self.epochs.current
+        if current is not None and (
+            self._applying
+            or current.snapshot.graph_version == self.graph.version
+        ):
+            return self.epochs.pin()
+        with self.write_lock:
+            current = self.epochs.current
+            if current is None or (
+                current.snapshot.graph_version != self.graph.version
+            ):
+                self._publish_epoch(CSRGraph.from_uncertain(self.graph))
+            return self.epochs.pin()
+
+    def _publish_epoch(self, csr: CSRGraph) -> bool:
+        """Publish ``csr`` as the next epoch (caller holds the write lock).
+
+        Re-binds the bundle store to the snapshot's provenance token
+        (dropping stale bundles exactly as a plain mutation always did) and
+        freezes the engine's snapshot-scoped caches into the published
+        :class:`~repro.service.epoch.EngineSnapshot`.  Returns whether the
+        store actually dropped entries (i.e. the version really changed).
+        """
+        token = csr.snapshot_token
+        if token is None:  # pragma: no cover - tenants always freeze graphs
+            raise InvalidParameterError(
+                "cannot publish an epoch from a snapshot without provenance "
+                "(build it with CSRGraph.from_uncertain)"
+            )
+        invalidated = self.store.sync_version(token)
+        snapshot = EngineSnapshot(
+            epoch_id=0,  # assigned by the manager
+            graph_version=csr.version,
+            csr=csr,
+            store_view=VersionedStoreView(self.store, token),
+            caches=self.engine.caches,
+            decay=self.engine.decay,
+            iterations=self.engine.iterations,
+            num_walks=self.engine.num_walks,
+        )
+        self.epochs.publish(snapshot)
+        return invalidated
 
     # -- mutation ingest ------------------------------------------------------
 
     def apply(self, log: MutationLog, verify: bool = False) -> MutationReport:
-        """Apply a mutation log: mutate, invalidate bundles, patch the CSR.
+        """Apply a mutation log on the shadow state and publish a new epoch.
 
-        The previous CSR snapshot (built on demand if this tenant was never
-        queried) seeds an incremental rebuild over the log's dirty rows; the
-        result lands in the graph's per-version snapshot cache, so the next
-        query batch picks it up without a full re-freeze.  The tenant's
-        bundle store is cleared (its walks were sampled on the old graph);
-        no other tenant is touched.
+        The single-writer path: under the tenant's write lock, the log
+        mutates the dict graph, the previous CSR snapshot (built on demand
+        if this tenant was never queried) seeds an incremental rebuild over
+        the log's dirty rows, and the result is published as the next epoch.
+        In-flight queries keep answering on whatever epoch they pinned — the
+        old CSR arrays and the versioned store view are immutable — so
+        ingest never blocks the read path.  The tenant's bundle store is
+        re-bound to the new version (its walks were sampled on the old
+        graph); no other tenant is touched.
         """
-        previous = CSRGraph.from_uncertain(self.graph)
-        dirty = log.apply_to(self.graph)
-        incremental = True
-        start = time.perf_counter()
-        try:
-            CSRGraph.from_uncertain_incremental(self.graph, previous, dirty, verify=verify)
-        except InvalidParameterError:
-            # A caller mutated the graph behind our back in a way the
-            # incremental path cannot express; fall back to the full rebuild
-            # rather than failing the ingest.
-            incremental = False
-            start = time.perf_counter()
-            CSRGraph.from_uncertain(self.graph)
-        snapshot_ms = 1000.0 * (time.perf_counter() - start)
-        invalidated = len(self.store)
-        if not self.store.sync_version((id(self.graph), self.graph.version)):
-            invalidated = 0  # e.g. an empty log: nothing was actually dropped
-        self.mutations_applied += 1
-        self.ops_applied += len(log)
-        return MutationReport(
-            graph=self.name,
-            ops=len(log),
-            dirty_rows=len(dirty),
-            version=self.graph.version,
-            num_vertices=self.graph.num_vertices,
-            num_arcs=self.graph.num_arcs,
-            invalidated_bundles=invalidated,
-            incremental=incremental,
-            snapshot_ms=snapshot_ms,
-        )
+        with self.write_lock:
+            self._applying = True
+            try:
+                previous = CSRGraph.from_uncertain(self.graph)
+                dirty = log.apply_to(self.graph)
+                incremental = True
+                start = time.perf_counter()
+                try:
+                    csr = CSRGraph.from_uncertain_incremental(
+                        self.graph, previous, dirty, verify=verify
+                    )
+                except InvalidParameterError:
+                    # A caller mutated the graph behind our back in a way the
+                    # incremental path cannot express; fall back to the full
+                    # rebuild rather than failing the ingest.
+                    incremental = False
+                    start = time.perf_counter()
+                    csr = CSRGraph.from_uncertain(self.graph)
+                snapshot_ms = 1000.0 * (time.perf_counter() - start)
+                entries = len(self.store)
+                invalidated = entries if self._publish_epoch(csr) else 0
+                self.mutations_applied += 1
+                self.ops_applied += len(log)
+                return MutationReport(
+                    graph=self.name,
+                    ops=len(log),
+                    dirty_rows=len(dirty),
+                    version=self.graph.version,
+                    num_vertices=self.graph.num_vertices,
+                    num_arcs=self.graph.num_arcs,
+                    invalidated_bundles=invalidated,
+                    incremental=incremental,
+                    snapshot_ms=snapshot_ms,
+                )
+            finally:
+                self._applying = False
 
     # -- introspection --------------------------------------------------------
 
@@ -396,6 +493,8 @@ class GraphTenant:
             "mutation_ops": self.ops_applied,
             "num_walks": self.config.num_walks,
             "iterations": self.config.iterations,
+            "max_num_walks": self.config.max_num_walks,
+            "epochs": self.epochs.stats(),
         }
 
     def close(self) -> None:

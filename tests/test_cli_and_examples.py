@@ -25,6 +25,7 @@ class TestCLI:
             "scalability",
             "service",
             "tenancy",
+            "epoch",
             "case-ppi",
             "case-er",
         } == set(EXPERIMENTS)

@@ -14,7 +14,9 @@ The package is organised around the paper's sections:
   the ``"vectorized"`` backend of the sampling-based algorithms.
 * :mod:`repro.core.two_phase` — the two-phase algorithm SR-TS (Section VI-C).
 * :mod:`repro.core.speedup` — the bit-vector speed-up SR-SP (Section VI-D).
-* :mod:`repro.core.engine` — a single entry point selecting among the above.
+* :mod:`repro.core.executors` — snapshot-scoped, batched method executors:
+  every algorithm behind one ``run_batch(pairs, overrides)`` contract.
+* :mod:`repro.core.engine` — a single entry point routing to the executors.
 * :mod:`repro.core.topk` — top-k similarity queries built on the estimators.
 """
 
@@ -31,6 +33,15 @@ from repro.core.batch_walks import (
     walk_matrix_from_graph,
 )
 from repro.core.engine import SimRankEngine, compute_simrank
+from repro.core.executors import (
+    METHODS,
+    EngineCaches,
+    EngineSnapshot,
+    MethodExecutor,
+    SerialWalkSource,
+    executor_for,
+    make_executor,
+)
 from repro.core.sampling import (
     required_sample_size,
     sample_walk,
@@ -68,6 +79,13 @@ __all__ = [
     "walk_matrix_from_graph",
     "SimRankEngine",
     "compute_simrank",
+    "METHODS",
+    "EngineCaches",
+    "EngineSnapshot",
+    "MethodExecutor",
+    "SerialWalkSource",
+    "executor_for",
+    "make_executor",
     "required_sample_size",
     "sample_walk",
     "sample_walks",

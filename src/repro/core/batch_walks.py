@@ -39,6 +39,11 @@ Vertex = Hashable
 #: Estimator backends exposed across the sampling stack.
 BACKENDS = ("vectorized", "python")
 
+#: Default number of walks per shard of the keyed sampling scheme.  Part of
+#: the RNG scheme: two samplers agree bit-for-bit only if they use the same
+#: seed *and* shard size.  (Re-exported by :mod:`repro.service.sharding`.)
+DEFAULT_SHARD_SIZE = 256
+
 #: Sentinel marking "walk already truncated" entries of a walk matrix.
 NO_VERTEX = -1
 
@@ -95,6 +100,48 @@ def keyed_chunk_rows(length: int, avg_out_degree: float) -> int:
         KEYED_CHUNK_TARGET_ARCS * (steps + 1) / (steps * max(1.0, avg_out_degree))
     )
     return max(KEYED_CHUNK_MIN_ROWS, min(KEYED_CHUNK_MAX_ROWS, rows))
+
+
+def shard_world_keys(
+    seed: int, vertex_index: int, twin: bool, shard_index: int, shard_length: int
+) -> np.ndarray:
+    """The world keys of one shard — a pure function of its coordinates.
+
+    This is the key-derivation rule of the deterministic sampling scheme
+    shared by every walk producer (the engine's serial
+    :class:`repro.core.executors.SerialWalkSource` and the service's
+    :class:`repro.service.sharding.ShardedWalkSampler`): the keys of shard
+    ``s`` of endpoint ``(vertex, twin)`` come from
+    ``SeedSequence(seed, spawn_key=(vertex, twin, s))``, independent of who
+    evaluates them, so bundles sampled anywhere under the same ``(seed,
+    shard_size)`` scheme are bit-identical.
+    """
+    sequence = np.random.SeedSequence(
+        entropy=seed, spawn_key=(int(vertex_index), int(bool(twin)), int(shard_index))
+    )
+    return np.random.default_rng(sequence).integers(
+        0, 2**64, size=shard_length, dtype=np.uint64
+    )
+
+
+def endpoint_world_keys(
+    seed: int, vertex_index: int, twin: bool, num_walks: int, shard_size: int
+) -> np.ndarray:
+    """All ``num_walks`` world keys of one endpoint bundle, shard by shard.
+
+    The single place the per-bundle shard layout (including the short last
+    shard) is spelled out — every producer of the keyed scheme assembles its
+    keys through here, so the layout can never drift between the serial and
+    the sharded-parallel samplers.
+    """
+    keys = np.empty(num_walks, dtype=np.uint64)
+    for shard in range(-(-int(num_walks) // int(shard_size))):
+        start = shard * shard_size
+        stop = min(start + shard_size, num_walks)
+        keys[start:stop] = shard_world_keys(
+            seed, vertex_index, twin, shard, stop - start
+        )
+    return keys
 
 
 def validate_backend(backend: str) -> str:
@@ -425,11 +472,16 @@ def bundle_key(
 class WalkBundleCache:
     """Walk matrices sampled once per endpoint and shared across query pairs.
 
-    :meth:`SimRankEngine.similarity_many` uses this to batch multi-pair
-    sampling queries: each unique endpoint's ``(N, n + 1)`` bundle is sampled
-    once and reused for every pair it participates in.  Individual pair
-    estimates stay unbiased; reuse only correlates estimates *across* pairs,
-    the same trade the paper makes when reusing offline filter vectors.
+    The *stateful-generator* reference of per-endpoint bundle sharing: each
+    unique endpoint's ``(N, n + 1)`` bundle is sampled once (from a shared
+    ``Generator``) and reused for every pair it participates in.  Production
+    batching moved to the keyed scheme of
+    :class:`repro.core.executors.SerialWalkSource` — a pure function of
+    ``(seed, vertex, twin, shard)``, order-independent — so this class is
+    retained as the simpler executable specification of the sharing idea.
+    Individual pair estimates stay unbiased either way; reuse only
+    correlates estimates *across* pairs, the same trade the paper makes when
+    reusing offline filter vectors.
 
     Bundles live in a :class:`repro.service.bundle_store.WalkBundleStore`
     rather than a plain dict, so long-running callers can pass a shared,

@@ -2,17 +2,26 @@
 
 :class:`SimRankEngine` binds an uncertain graph to a decay factor, an
 iteration count and per-method configuration, and exposes every algorithm of
-the paper behind one ``similarity(u, v, method=...)`` call.  It also owns the
-state that is worth sharing across queries: the α cache of the exact
-algorithms, the offline-built filter vectors of SR-SP, and — for batched
-multi-pair sampling queries — per-endpoint walk bundles.
+the paper behind one ``similarity(u, v, method=...)`` call.  Since the
+executor refactor it is a *thin router*: each call freezes the engine's
+current graph state into an :class:`~repro.core.executors.EngineSnapshot`
+(pinned CSR + snapshot-scoped :class:`~repro.core.executors.EngineCaches`)
+and dispatches to the snapshot-scoped
+:class:`~repro.core.executors.MethodExecutor` registered for the method —
+the same executors the serving layer runs against epoch-pinned snapshots,
+so an engine and a service configured with the same ``seed`` / ``shard_size``
+answer bit-identically at equal graph states.
 
-The ``backend`` parameter selects the estimator engine for the
-sampling-based methods: ``"vectorized"`` (default) runs on the array-backed
-:class:`~repro.graph.csr.CSRGraph` snapshot via
-:mod:`repro.core.batch_walks`; ``"python"`` runs the scalar reference
-implementations.  Both caches (filters, α) are keyed on the graph's mutation
-version, so mutating or replacing :attr:`graph` transparently rebuilds them.
+Multi-pair calls (:meth:`SimRankEngine.similarity_many`) share batch work
+per *unique endpoint*: walk bundles for the sampled stages, single-source
+transition distributions for the exact stages, and SR-SP propagation tables
+per endpoint side.  All vectorized randomness is keyed (walk bundles from
+``(seed, vertex, twin, shard)`` world keys, SR-SP filters from per-walk-count
+seed streams), so results are independent of query order and batching; the
+``backend="python"`` scalar reference remains stateful and per-pair.
+
+Both caches (filters, α) are keyed on the graph's mutation version, so
+mutating or replacing :attr:`graph` transparently rebuilds them.
 """
 
 from __future__ import annotations
@@ -21,77 +30,38 @@ from typing import Hashable, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.baseline import baseline_simrank, baseline_simrank_all_pairs
-from repro.core.batch_walks import WalkBundleCache, validate_backend
-from repro.core.sampling import DEFAULT_NUM_WALKS, sampling_simrank
+from repro.core.baseline import baseline_simrank_all_pairs
+from repro.core.batch_walks import DEFAULT_SHARD_SIZE, validate_backend
+from repro.core.executors import (
+    METHODS,
+    EngineCaches,
+    EngineSnapshot,
+    SerialWalkSource,
+    executor_for,
+)
+from repro.core.sampling import DEFAULT_NUM_WALKS
 from repro.core.simrank import (
     DEFAULT_DECAY,
     DEFAULT_ITERATIONS,
     SimRankResult,
-    simrank_from_meeting_probabilities,
     validate_decay,
     validate_iterations,
 )
 from repro.core.speedup import FilterVectors
-from repro.core.two_phase import DEFAULT_EXACT_PREFIX, two_phase_simrank
+from repro.core.two_phase import DEFAULT_EXACT_PREFIX
 from repro.core.walks import AlphaCache
-from repro.graph.csr import CSRGraph
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.utils.errors import InvalidParameterError
 from repro.utils.rng import RandomState, ensure_rng
 
 Vertex = Hashable
 
-#: The algorithms exposed by the engine, using the paper's names.
-METHODS = ("baseline", "sampling", "two_phase", "speedup")
-
-
-class EngineCaches:
-    """Snapshot-scoped shared state of one engine.
-
-    Everything the engine caches per graph snapshot lives here: the α cache
-    of the exact algorithms and the SR-SP filter-vector pairs (one
-    independently drawn u/v pair per ``num_walks``).  The object is identified
-    by ``key`` — the ``(id(graph), graph.version)`` snapshot identity — and is
-    *replaced wholesale*, never mutated across versions: an engine builds a
-    fresh instance when its graph moves on, while consumers that pinned the
-    old instance (an epoch-pinned
-    :class:`~repro.service.epoch.EngineSnapshot`) keep a self-consistent view
-    of the caches exactly as they were at that snapshot.
-    """
-
-    def __init__(
-        self, graph: UncertainGraph, key: Tuple[object, ...], rng: RandomState
-    ) -> None:
-        self.key = key
-        self._graph = graph
-        self._rng = rng
-        self.alpha_cache = AlphaCache(graph)
-        self._filter_pairs: dict = {}
-
-    def filter_pair(self, num_walks: int) -> Tuple[FilterVectors, FilterVectors]:
-        """The (u-side, v-side) SR-SP filter vectors for one walk count.
-
-        The two sets are drawn independently so the two endpoint walk bundles
-        of a query stay statistically independent (DESIGN.md §5.1); both are
-        built lazily on first use and reused for every later query at this
-        snapshot and walk count.
-        """
-        pair = self._filter_pairs.get(num_walks)
-        if pair is None:
-            pair = self.rebuild_filter_pair(num_walks)
-        return pair
-
-    def rebuild_filter_pair(
-        self, num_walks: int
-    ) -> Tuple[FilterVectors, FilterVectors]:
-        """Redraw both filter sets (a fresh offline sampling pass)."""
-        pair = (
-            FilterVectors(self._graph, num_walks, self._rng),
-            FilterVectors(self._graph, num_walks, self._rng),
-        )
-        self._filter_pairs[num_walks] = pair
-        return pair
+__all__ = [
+    "METHODS",
+    "EngineCaches",
+    "SimRankEngine",
+    "compute_simrank",
+]
 
 
 class SimRankEngine:
@@ -110,7 +80,10 @@ class SimRankEngine:
     exact_prefix:
         The ``l`` of the two-phase methods; default 1.
     seed:
-        Seed (or generator) driving all randomness of the engine.
+        Seed (or generator) driving all randomness of the engine.  An integer
+        seed makes every vectorized answer a pure function of ``(graph state,
+        seed, shard_size)`` — the property the serving layer's bit-identity
+        rests on.
     backend:
         ``"vectorized"`` (default) or ``"python"``; the estimator engine used
         by the sampling-based methods.
@@ -119,7 +92,12 @@ class SimRankEngine:
         across batched sampling queries.  With a store, walk bundles persist
         across :meth:`similarity_many` calls under the store's LRU byte
         budget and are invalidated when the graph mutates; without one, each
-        batched call samples its bundles afresh (the pre-service behaviour).
+        batched call samples its bundles afresh.
+    shard_size:
+        Walks per shard of the keyed sampling scheme.  Part of the RNG scheme
+        (it decides which world keys exist): an engine and a
+        :class:`~repro.service.sharding.ShardedWalkSampler` agree bit-for-bit
+        exactly when their ``(seed, shard_size)`` match.
 
     Examples
     --------
@@ -140,6 +118,7 @@ class SimRankEngine:
         seed: RandomState = None,
         backend: str = "vectorized",
         bundle_store: "object | None" = None,
+        shard_size: int = DEFAULT_SHARD_SIZE,
     ) -> None:
         self.graph = graph
         self.bundle_store = bundle_store
@@ -151,17 +130,31 @@ class SimRankEngine:
             raise InvalidParameterError(
                 f"exact_prefix must satisfy 0 <= l <= n, got {exact_prefix}"
             )
+        if shard_size < 1:
+            raise InvalidParameterError(f"shard_size must be >= 1, got {shard_size}")
         self.num_walks = num_walks
         self.exact_prefix = exact_prefix
         self.backend = validate_backend(backend)
+        self.shard_size = int(shard_size)
         self._rng = ensure_rng(seed)
-        self._caches = EngineCaches(graph, self._graph_key(), self._rng)
+        if isinstance(seed, (int, np.integer)):
+            self._seed = int(seed)
+        else:
+            # No (or a generator) seed: derive the keyed-scheme base seed
+            # from the generator so the engine stays self-consistent.
+            self._seed = int(self._rng.integers(2**63))
+        self._caches = EngineCaches(graph, self._graph_key(), self._seed)
 
     # -- shared state --------------------------------------------------------
 
     def _graph_key(self) -> Tuple[object, ...]:
         """Identity of the current graph snapshot (object + mutation version)."""
         return (id(self.graph), self.graph.version)
+
+    @property
+    def seed(self) -> int:
+        """Base seed of the engine's keyed sampling / filter scheme."""
+        return self._seed
 
     @property
     def caches(self) -> EngineCaches:
@@ -172,7 +165,7 @@ class SimRankEngine:
         snapshots) keep a consistent view of the retired version.
         """
         if self._caches.key != self._graph_key():
-            self._caches = EngineCaches(self.graph, self._graph_key(), self._rng)
+            self._caches = EngineCaches(self.graph, self._graph_key(), self._seed)
         return self._caches
 
     @property
@@ -203,6 +196,35 @@ class SimRankEngine:
         """Redraw both SR-SP filter sets (a fresh offline sampling pass)."""
         return self.caches.rebuild_filter_pair(self.num_walks)[0]
 
+    def snapshot(self) -> EngineSnapshot:
+        """Freeze the engine's current graph state into an executor snapshot.
+
+        The returned :class:`~repro.core.executors.EngineSnapshot` carries
+        the pinned CSR, the snapshot-scoped caches, the engine parameters,
+        and a :class:`~repro.core.executors.SerialWalkSource` under the
+        engine's ``(seed, shard_size)`` scheme (persisting bundles in
+        :attr:`bundle_store` when one is configured).  ``epoch_id`` is 0 —
+        engine snapshots are per-call views, not published epochs.
+        """
+        caches = self.caches
+        if self.bundle_store is not None:
+            self.bundle_store.sync_version(self._graph_key())
+        return EngineSnapshot(
+            epoch_id=0,
+            graph_version=self.graph.version,
+            csr=caches.csr,
+            store_view=None,
+            caches=caches,
+            decay=self.decay,
+            iterations=self.iterations,
+            num_walks=self.num_walks,
+            exact_prefix=self.exact_prefix,
+            backend=self.backend,
+            walks=SerialWalkSource(
+                self._seed, self.shard_size, store=self.bundle_store
+            ),
+        )
+
     # -- queries --------------------------------------------------------------
 
     def similarity(
@@ -215,57 +237,14 @@ class SimRankEngine:
         """SimRank similarity of one vertex pair with the chosen algorithm.
 
         ``method`` is one of ``"baseline"``, ``"sampling"``, ``"two_phase"``
-        (SR-TS) and ``"speedup"`` (SR-SP).  Keyword overrides are forwarded to
-        the underlying algorithm (e.g. ``num_walks=...``, ``exact_prefix=...``,
-        ``backend=...``).
+        (SR-TS) and ``"speedup"`` (SR-SP).  Keyword overrides are validated
+        against the method's executor — each executor declares exactly the
+        overrides that are meaningful for it (e.g. ``num_walks=`` /
+        ``backend=`` for the sampled methods, ``exact_prefix=`` for the
+        two-phase ones, ``max_states=`` for every exact stage) and rejects
+        the rest with a clear error.
         """
-        if method not in METHODS:
-            raise InvalidParameterError(
-                f"unknown method {method!r}; expected one of {METHODS}"
-            )
-        if method == "baseline":
-            overrides.setdefault("alpha_cache", self.alpha_cache)
-            return baseline_simrank(
-                self.graph,
-                u,
-                v,
-                decay=self.decay,
-                iterations=self.iterations,
-                **overrides,
-            )
-        overrides.setdefault("backend", self.backend)
-        if method == "sampling":
-            overrides.setdefault("num_walks", self.num_walks)
-            return sampling_simrank(
-                self.graph,
-                u,
-                v,
-                decay=self.decay,
-                iterations=self.iterations,
-                rng=self._rng,
-                **overrides,
-            )
-        use_speedup = method == "speedup"
-        overrides.setdefault("num_walks", self.num_walks)
-        overrides.setdefault("exact_prefix", self.exact_prefix)
-        overrides.setdefault("alpha_cache", self.alpha_cache)
-        if use_speedup:
-            # Filters sized for the *effective* walk count: a per-query
-            # num_walks override gets its own cached filter pair instead of
-            # being silently reset to the default pair's width downstream.
-            filter_pair = self.caches.filter_pair(int(overrides["num_walks"]))
-            overrides.setdefault("filters", filter_pair[0])
-            overrides.setdefault("filters_v", filter_pair[1])
-        return two_phase_simrank(
-            self.graph,
-            u,
-            v,
-            decay=self.decay,
-            iterations=self.iterations,
-            rng=self._rng,
-            use_speedup=use_speedup,
-            **overrides,
-        )
+        return self.similarity_many([(u, v)], method=method, **overrides)[0]
 
     def similarity_many(
         self,
@@ -273,76 +252,20 @@ class SimRankEngine:
         method: str = "two_phase",
         **overrides: object,
     ) -> List[SimRankResult]:
-        """SimRank similarities for many pairs (sharing caches and filters).
+        """SimRank similarities for many pairs, sharing batch work.
 
-        For ``method="sampling"`` with the vectorized backend, the walk
-        bundles are sampled *once per unique endpoint* and reused across every
-        pair that endpoint participates in — a multi-pair query over ``p``
-        pairs touching ``q`` unique vertices costs ``q`` batch samples instead
-        of ``2p``.  Each pair's estimate stays unbiased (reuse only correlates
-        estimates across pairs, as the paper's shared offline filters do).
-        Other methods fall back to per-pair queries sharing the engine caches.
+        Every method shares its expensive stage per *unique endpoint* of the
+        batch: walk bundles (``sampling`` and the SR-TS tail), single-source
+        transition distributions (every exact stage), and SR-SP propagation
+        tables per endpoint side.  A multi-pair query over ``p`` pairs
+        touching ``q`` unique vertices costs ``q`` expensive-stage runs
+        instead of ``2p``.  Each pair's estimate stays unbiased (sharing only
+        correlates estimates across pairs, as the paper's shared offline
+        filters do), and because the sampled stages are keyed, batching never
+        changes any individual answer.
         """
-        pair_list = list(pairs)
-        backend = overrides.get("backend", self.backend)
-        if method == "sampling" and backend == "vectorized" and (
-            len(pair_list) > 1 or self.bundle_store is not None
-        ):
-            # A single-pair call still goes through the bundle path when a
-            # store is configured: the endpoints may already be cached, and
-            # the estimate must agree with what the batched path returns.
-            return self._similarity_many_sampling(pair_list, **overrides)
-        return [self.similarity(u, v, method=method, **overrides) for u, v in pair_list]
-
-    def _similarity_many_sampling(
-        self,
-        pairs: Sequence[Tuple[Vertex, Vertex]],
-        num_walks: int | None = None,
-        backend: str = "vectorized",
-        **overrides: object,
-    ) -> List[SimRankResult]:
-        if overrides:
-            raise InvalidParameterError(
-                f"unsupported overrides for batched sampling: {sorted(overrides)}"
-            )
-        walks = self.num_walks if num_walks is None else int(num_walks)
-        if walks < 1:
-            raise InvalidParameterError(f"num_walks must be >= 1, got {walks}")
-        for u, v in pairs:
-            if not self.graph.has_vertex(u) or not self.graph.has_vertex(v):
-                raise InvalidParameterError(
-                    f"both query vertices must be in the graph: {u!r}, {v!r}"
-                )
-        if self.bundle_store is not None:
-            self.bundle_store.sync_version(self._graph_key())
-        cache = WalkBundleCache(
-            CSRGraph.from_uncertain(self.graph),
-            self.iterations,
-            walks,
-            self._rng,
-            store=self.bundle_store,
-        )
-        results = []
-        for u, v in pairs:
-            meeting = cache.meeting_probabilities(u, v)
-            score = simrank_from_meeting_probabilities(meeting, self.decay)
-            results.append(
-                SimRankResult(
-                    u=u,
-                    v=v,
-                    score=score,
-                    meeting_probabilities=tuple(meeting),
-                    decay=self.decay,
-                    iterations=self.iterations,
-                    method="sampling",
-                    details={
-                        "num_walks": walks,
-                        "backend": backend,
-                        "shared_bundles": True,
-                    },
-                )
-            )
-        return results
+        executor = executor_for(method)(self.snapshot(), rng=self._rng)
+        return executor.run_batch(list(pairs), dict(overrides))
 
     def similarity_matrix(
         self, order: Sequence[Vertex] | None = None, **overrides: object

@@ -95,13 +95,22 @@ class FilterVectors:
     cumulative-count trick instead of per-vertex Python loops.
     """
 
-    def __init__(self, graph: UncertainGraph, num_processes: int, rng: RandomState = None):
+    def __init__(
+        self,
+        graph: UncertainGraph,
+        num_processes: int,
+        rng: RandomState = None,
+        csr: CSRGraph | None = None,
+    ):
         if num_processes < 1:
             raise InvalidParameterError(
                 f"num_processes must be >= 1, got {num_processes}"
             )
         self._graph = graph
-        self._csr = CSRGraph.from_uncertain(graph)
+        # An explicit csr pins the filters to that exact snapshot — required
+        # when building from an epoch-pinned EngineCaches whose dict graph
+        # may already have moved on.
+        self._csr = csr if csr is not None else CSRGraph.from_uncertain(graph)
         self._num_processes = num_processes
         self._words = (num_processes + 63) // 64
         self._filters: Dict[Arc, BitVector] = {}

@@ -6,7 +6,7 @@ Usage::
 
 where ``<experiment>`` is one of ``datasets``, ``measures``, ``convergence``,
 ``efficiency``, ``accuracy``, ``param-n``, ``scalability``, ``service``,
-``tenancy``, ``epoch``, ``case-ppi``, ``case-er`` or ``all``.  ``--quick`` shrinks the
+``tenancy``, ``epoch``, ``methods``, ``case-ppi``, ``case-er`` or ``all``.  ``--quick`` shrinks the
 workload (fewer pairs, smaller sample sizes) so a full pass finishes in a
 couple of minutes.
 """
@@ -32,6 +32,7 @@ from repro.experiments.convergence import (
 from repro.experiments.efficiency import format_efficiency_results, run_efficiency_experiment
 from repro.experiments.epoch import format_epoch_results, run_epoch_experiment
 from repro.experiments.measures import format_measures_results, run_measures_experiment
+from repro.experiments.methods import format_methods_results, run_methods_experiment
 from repro.experiments.param_n import format_param_n_results, run_param_n_experiment
 from repro.experiments.report import format_dataset_summary
 from repro.experiments.scalability import (
@@ -105,6 +106,16 @@ def _run_service(quick: bool) -> str:
     return format_service_topk_results(results)
 
 
+def _run_methods(quick: bool) -> str:
+    result = run_methods_experiment(
+        num_vertices=200 if quick else 400,
+        num_edges=600 if quick else 1600,
+        num_endpoints=8 if quick else 14,
+        num_walks=150 if quick else 400,
+    )
+    return format_methods_results(result)
+
+
 def _run_epoch(quick: bool) -> str:
     result = run_epoch_experiment(
         num_vertices=300 if quick else 600,
@@ -159,6 +170,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "service": _run_service,
     "tenancy": _run_tenancy,
     "epoch": _run_epoch,
+    "methods": _run_methods,
     "case-ppi": _run_case_ppi,
     "case-er": _run_case_er,
 }

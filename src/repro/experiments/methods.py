@@ -1,0 +1,145 @@
+"""Method-executor experiment: batched multi-pair queries vs per-pair loops.
+
+One table over every paper method, same graph and pair batch: the per-pair
+column issues one ``engine.similarity`` call per pair (a fresh
+snapshot-scoped executor each time — the pre-refactor cost shape), the
+batched column one ``engine.similarity_many`` over the whole batch, which
+shares each method's expensive stage per *unique endpoint*:
+
+* ``baseline`` / the SR-TS / SR-SP exact prefix — one single-source
+  transition run per endpoint instead of two per pair;
+* ``sampling`` and the SR-TS tail — one keyed walk bundle per endpoint;
+* ``speedup`` — one bit-vector propagation per endpoint side.
+
+Because the vectorized executors key all randomness off the engine's
+``(seed, shard_size)`` scheme, the batched and per-pair answers are
+**bit-identical** — the experiment asserts it per method and reports the
+measured speedup, so ``python -m repro.experiments methods [--quick]``
+doubles as a live check of the executor refactor's contract.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from itertools import combinations
+from typing import List, Sequence, Tuple
+
+from repro.core.engine import METHODS, SimRankEngine
+from repro.experiments.report import format_table
+from repro.graph.generators import rmat_uncertain
+
+
+@dataclass
+class MethodRun:
+    """Per-method comparison of the per-pair loop and the batched executor."""
+
+    method: str
+    pairs: int
+    unique_endpoints: int
+    per_pair_ms: float
+    batched_ms: float
+    speedup: float
+    bit_identical: bool
+
+
+@dataclass
+class MethodsResult:
+    """All per-method runs plus the workload shape."""
+
+    num_vertices: int
+    num_edges: int
+    iterations: int
+    exact_prefix: int
+    num_walks: int
+    runs: List[MethodRun]
+
+
+def run_methods_experiment(
+    num_vertices: int = 300,
+    num_edges: int = 900,
+    num_endpoints: int = 12,
+    iterations: int = 4,
+    exact_prefix: int = 2,
+    num_walks: int = 300,
+    seed: int = 13,
+) -> MethodsResult:
+    """Compare the per-pair loop and the batched executor for every method.
+
+    ``num_endpoints`` vertices of an R-MAT sweep graph form the candidate
+    set; all of their unordered pairs are scored both ways.  Answers must
+    agree bit-for-bit (asserted into :attr:`MethodRun.bit_identical`).
+    """
+    graph = rmat_uncertain(num_vertices, num_edges, rng=seed)
+    endpoints: Sequence = graph.vertices()[:num_endpoints]
+    pairs: List[Tuple[object, object]] = list(combinations(endpoints, 2))
+    engine = SimRankEngine(
+        graph,
+        iterations=iterations,
+        exact_prefix=exact_prefix,
+        num_walks=num_walks,
+        seed=seed,
+    )
+    runs = []
+    for method in METHODS:
+        start = time.perf_counter()
+        loop_results = [engine.similarity(u, v, method=method) for u, v in pairs]
+        per_pair_ms = 1000.0 * (time.perf_counter() - start)
+        start = time.perf_counter()
+        batched_results = engine.similarity_many(pairs, method=method)
+        batched_ms = 1000.0 * (time.perf_counter() - start)
+        identical = [result.score for result in loop_results] == [
+            result.score for result in batched_results
+        ]
+        runs.append(
+            MethodRun(
+                method=method,
+                pairs=len(pairs),
+                unique_endpoints=len(endpoints),
+                per_pair_ms=per_pair_ms,
+                batched_ms=batched_ms,
+                speedup=per_pair_ms / batched_ms if batched_ms else float("inf"),
+                bit_identical=identical,
+            )
+        )
+    return MethodsResult(
+        num_vertices=graph.num_vertices,
+        num_edges=graph.num_arcs,
+        iterations=iterations,
+        exact_prefix=exact_prefix,
+        num_walks=num_walks,
+        runs=runs,
+    )
+
+
+def format_methods_results(result: MethodsResult) -> str:
+    """Plain-text table of the per-method comparison."""
+    header = (
+        f"Batched method executors vs per-pair loop — "
+        f"|V|={result.num_vertices}, |E|={result.num_edges}, "
+        f"n={result.iterations}, l={result.exact_prefix}, N={result.num_walks}"
+    )
+    table = format_table(
+        (
+            "method",
+            "pairs",
+            "endpoints",
+            "per-pair ms",
+            "batched ms",
+            "speedup",
+            "bit-identical",
+        ),
+        [
+            (
+                run.method,
+                run.pairs,
+                run.unique_endpoints,
+                f"{run.per_pair_ms:.1f}",
+                f"{run.batched_ms:.1f}",
+                f"{run.speedup:.1f}x",
+                "yes" if run.bit_identical else "NO",
+            )
+            for run in result.runs
+        ],
+    )
+    return header + "\n" + table

@@ -335,3 +335,81 @@ class CSRGraph:
 
     def __repr__(self) -> str:
         return f"CSRGraph(|V|={self.num_vertices}, |E|={self.num_arcs})"
+
+
+class CSRGraphView:
+    """Read-only dict-graph facade over a frozen :class:`CSRGraph`.
+
+    The exact algorithms (α factors, single-source transition distributions,
+    the scalar reference samplers) are written against the read surface of
+    :class:`~repro.graph.uncertain_graph.UncertainGraph` — ``has_vertex`` /
+    ``out_neighbors`` / ``out_arcs``.  Serving them from a *pinned* epoch
+    snapshot means they must not touch the mutable dict graph at all, so this
+    view reconstructs that read surface from the immutable CSR arrays.
+    Adjacency rows materialise lazily (one dict per visited vertex, cached),
+    in CSR arc order — which is the dict graph's insertion order, so float
+    reductions iterate in exactly the same order as on the source graph and
+    the exact results stay bit-identical.
+
+    The view is safe to share across reader threads: its cache only ever
+    gains deterministically-derived entries.
+    """
+
+    __slots__ = ("csr", "_out_arcs")
+
+    def __init__(self, csr: CSRGraph) -> None:
+        self.csr = csr
+        self._out_arcs: Dict[Vertex, Dict[Vertex, float]] = {}
+
+    @property
+    def num_vertices(self) -> int:
+        """Number of vertices of the pinned snapshot."""
+        return self.csr.num_vertices
+
+    @property
+    def num_arcs(self) -> int:
+        """Number of arcs of the pinned snapshot."""
+        return self.csr.num_arcs
+
+    @property
+    def version(self) -> "int | None":
+        """Mutation version the snapshot froze (``None`` without provenance)."""
+        return self.csr.version
+
+    def vertices(self) -> List[Vertex]:
+        """Vertex labels in dense-index (insertion) order."""
+        return list(self.csr.vertices)
+
+    def has_vertex(self, vertex: Vertex) -> bool:
+        """Whether the label is part of the snapshot."""
+        return self.csr.has_vertex(vertex)
+
+    def out_arcs(self, vertex: Vertex) -> Dict[Vertex, float]:
+        """``{neighbor: probability}`` of the vertex's out-arcs (cached).
+
+        The returned dict is owned by the view and must not be mutated.
+        """
+        row = self._out_arcs.get(vertex)
+        if row is None:
+            csr = self.csr
+            destinations, probabilities = csr.out_slice(csr.index_of(vertex))
+            row = {
+                csr.vertex_at(int(destination)): float(probability)
+                for destination, probability in zip(destinations, probabilities)
+            }
+            self._out_arcs[vertex] = row
+        return row
+
+    def out_neighbors(self, vertex: Vertex) -> List[Vertex]:
+        """Out-neighbour labels of a vertex, in arc order."""
+        return list(self.out_arcs(vertex))
+
+    def has_arc(self, u: Vertex, v: Vertex) -> bool:
+        """Whether the arc ``(u, v)`` exists in the snapshot."""
+        return self.has_vertex(u) and v in self.out_arcs(u)
+
+    def __contains__(self, vertex: Vertex) -> bool:
+        return self.has_vertex(vertex)
+
+    def __repr__(self) -> str:
+        return f"CSRGraphView({self.csr!r})"

@@ -34,6 +34,7 @@ from repro.service.epoch import (
     Epoch,
     EpochLease,
     EpochManager,
+    PooledWalkSource,
     VersionedStoreView,
 )
 from repro.service.service import (
@@ -41,6 +42,7 @@ from repro.service.service import (
     PairQuery,
     SimilarityService,
     TopKPairsQuery,
+    TopKResult,
     TopKVertexQuery,
 )
 from repro.service.sharding import EXECUTORS, ShardedWalkSampler
@@ -61,11 +63,13 @@ __all__ = [
     "Epoch",
     "EpochLease",
     "EpochManager",
+    "PooledWalkSource",
     "VersionedStoreView",
     "INGEST_MODES",
     "PairQuery",
     "SimilarityService",
     "TopKPairsQuery",
+    "TopKResult",
     "TopKVertexQuery",
     "EXECUTORS",
     "ShardedWalkSampler",

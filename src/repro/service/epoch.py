@@ -7,14 +7,16 @@ forces every reader to coordinate with the writer.  This module removes
 that coordination with the classic epoch scheme of read-optimized stores
 (RCU / MVCC in miniature):
 
-* :class:`EngineSnapshot` — one immutable, self-sufficient read view of a
-  tenant: the pinned :class:`~repro.graph.csr.CSRGraph`, the engine's
-  snapshot-scoped caches (α cache + SR-SP filter vectors, see
-  :class:`~repro.core.engine.EngineCaches`), the engine parameters, and a
+* :class:`~repro.core.executors.EngineSnapshot` (defined with the method
+  executors, re-exported here) — one immutable, self-sufficient read view of
+  a tenant: the pinned :class:`~repro.graph.csr.CSRGraph`, the engine's
+  snapshot-scoped caches (α cache + SR-SP filter vectors + pinned CSR view,
+  see :class:`~repro.core.executors.EngineCaches`), the engine parameters, a
   *versioned read view* of the tenant's
   :class:`~repro.service.bundle_store.WalkBundleStore`
   (:class:`VersionedStoreView`) that can never serve or retain a bundle
-  belonging to a different graph version.
+  belonging to a different graph version, and a :class:`PooledWalkSource`
+  resolving walk bundles through the tenant's sharded sampler.
 * :class:`EpochManager` — publishes snapshots atomically.  Readers
   :meth:`~EpochManager.pin` the current epoch (a refcounted
   :class:`EpochLease`); the writer publishes a successor and *retires* the
@@ -23,10 +25,13 @@ that coordination with the classic epoch scheme of read-optimized stores
   never blocked by sampling, and never blocking ingest.
 
 Query answering against a pinned snapshot touches **no mutable tenant
-state**: in-flight queries keep answering on their epoch while a mutation
-batch builds the next one, and results stay bit-identical to a standalone
-engine built at the pinned graph version (the sampling scheme is keyed, so
-a bundle resampled on the retiring epoch equals the one the store held).
+state** — for *every* paper method, since the method executors
+(:mod:`repro.core.executors`) run the exact algorithms on the snapshot's
+pinned CSR view and all sampled randomness is keyed: in-flight queries keep
+answering on their epoch while a mutation batch builds the next one, and
+results stay bit-identical to a standalone engine built at the pinned graph
+version (a bundle resampled on the retiring epoch equals the one the store
+held).
 
 The write side stays single-writer by construction: mutation ingest runs in
 the service's dedicated writer thread (or the caller's thread for direct
@@ -37,15 +42,25 @@ tenant by the tenant's write lock.
 from __future__ import annotations
 
 import threading
-from dataclasses import dataclass, replace
-from typing import Dict, Hashable, List, Optional
+from dataclasses import replace
+from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.engine import EngineCaches
+from repro.core.executors import EngineSnapshot, WalkSource
 from repro.graph.csr import CSRGraph
 from repro.service.bundle_store import WalkBundleStore
+from repro.service.sharding import ShardedWalkSampler
 from repro.utils.errors import InvalidParameterError
+
+__all__ = [
+    "EngineSnapshot",
+    "Epoch",
+    "EpochLease",
+    "EpochManager",
+    "PooledWalkSource",
+    "VersionedStoreView",
+]
 
 
 class VersionedStoreView:
@@ -85,30 +100,45 @@ class VersionedStoreView:
         return f"VersionedStoreView(token={self.token!r}, current={self.current})"
 
 
-@dataclass(frozen=True)
-class EngineSnapshot:
-    """Everything one query batch needs, frozen at one graph version.
+class PooledWalkSource(WalkSource):
+    """Walk-bundle resolution through a tenant's sampler and epoch store view.
 
-    Instances are immutable and shared: any number of read workers may
-    answer from the same snapshot concurrently.  ``caches`` is the engine's
-    snapshot-scoped state (α cache, SR-SP filters) pinned at publish time —
-    the engine replaces that object wholesale when the graph moves on, so a
-    pinned snapshot keeps a consistent view of the retired version.
+    The service-side implementation of the executor layer's
+    :class:`~repro.core.executors.WalkSource` contract: lookups and inserts
+    go through the epoch's :class:`VersionedStoreView` (so a batch on a
+    retiring epoch can neither read a newer version's bundle nor leak its
+    own into the successor's cache), and misses are sampled in one sharded
+    sweep over the tenant's
+    :class:`~repro.service.sharding.ShardedWalkSampler` pool.  Bundles are
+    bit-identical to a :class:`~repro.core.executors.SerialWalkSource` under
+    the same ``(seed, shard_size)`` scheme.
     """
 
-    epoch_id: int
-    graph_version: int
-    csr: CSRGraph
-    store_view: VersionedStoreView
-    caches: EngineCaches
-    decay: float
-    iterations: int
-    num_walks: int
+    def __init__(
+        self, sampler: ShardedWalkSampler, store_view: "VersionedStoreView"
+    ) -> None:
+        self.sampler = sampler
+        self.store_view = store_view
 
-    @property
-    def token(self) -> Hashable:
-        """The snapshot identity ``(graph_id, version)`` this epoch pinned."""
-        return self.store_view.token
+    def store_key(
+        self, vertex_index: int, twin: bool, length: int, num_walks: int
+    ) -> tuple:
+        return self.sampler.store_key(vertex_index, twin, length, num_walks)
+
+    def _get(self, key: tuple) -> Optional[np.ndarray]:
+        return self.store_view.get(key)
+
+    def _put(self, key: tuple, bundle: np.ndarray) -> np.ndarray:
+        return self.store_view.put(key, bundle)
+
+    def _sample(
+        self,
+        csr: CSRGraph,
+        requests: Sequence[Tuple[int, bool]],
+        length: int,
+        num_walks: int,
+    ) -> Dict[Tuple[int, bool], np.ndarray]:
+        return self.sampler.sample_bundles(csr, requests, length, num_walks)
 
 
 class Epoch:

@@ -19,9 +19,10 @@ an optional opaque value echoed into the response)::
     {"op": "top_k", "query": "v1", "k": 5, "candidates": ["v2", "v3"]}
     {"op": "top_k_pairs", "k": 3, "pairs": [["v1", "v2"], ["v2", "v3"]]}
 
-``pair`` responses carry the ``epoch`` and ``graph_version`` the answer was
-pinned to — under concurrent ingest (``--read-workers`` > 1 with mutations
-in flight) this names the exact graph state the score is bit-identical to.
+Every query response — ``pair``, ``top_k``, ``top_k_pairs``, for every
+method — carries the ``epoch`` and ``graph_version`` the answer was pinned
+to: under concurrent ingest (``--read-workers`` > 1 with mutations in
+flight) this names the exact graph state the scores are bit-identical to.
 
 Control requests::
 
@@ -157,9 +158,20 @@ def _render_response(record: dict, query, outcome) -> dict:
             query=query.query,
             results=[[vertex, score] for vertex, score in outcome],
         )
+        _attach_epoch(response, outcome)
     else:
         response["results"] = [[u, v, score] for u, v, score in outcome]
+        _attach_epoch(response, outcome)
     return response
+
+
+def _attach_epoch(response: dict, outcome) -> None:
+    """Surface the epoch provenance a TopKResult carries (if any)."""
+    epoch = getattr(outcome, "epoch", None)
+    if epoch:
+        response.update(
+            epoch=epoch, graph_version=getattr(outcome, "graph_version", None)
+        )
 
 
 def _render_error(record: dict, error: object) -> dict:

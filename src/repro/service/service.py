@@ -1,15 +1,19 @@
-"""Batched similarity query service on top of :class:`SimRankEngine`.
+"""Batched similarity query service on top of the method executors.
 
 :class:`SimilarityService` is the serving layer of the library: callers
 submit pair, top-k-pairs, and top-k-for-vertex queries; a dispatcher thread
 drains the submission queue into batches, and a pool of *read workers*
-answers them.  Each batch collects every walk bundle it needs, samples the
-*missing* ones in one sharded vectorized sweep
-(:class:`~repro.service.sharding.ShardedWalkSampler`), and answers all
-queries of the batch from the shared
-:class:`~repro.service.bundle_store.WalkBundleStore`.  Bundles persist
-across batches until LRU eviction or graph mutation, so a sustained workload
-converges to sampling each hot endpoint once.
+answers them.  Every batch routes through the snapshot-scoped
+:class:`~repro.core.executors.MethodExecutor` registry — *all four* paper
+methods, not just sampling — so each method shares its expensive stage per
+unique endpoint of the batch: walk bundles for the sampled stages (resolved
+through the tenant's :class:`~repro.service.bundle_store.WalkBundleStore`
+and sampled in one sharded sweep by the
+:class:`~repro.service.sharding.ShardedWalkSampler` on a miss), exact
+single-source transition distributions for the Baseline / SR-TS / SR-SP
+prefix stages, and SR-SP propagation tables per endpoint side.  Bundles
+persist across batches until LRU eviction or graph mutation, so a sustained
+workload converges to sampling each hot endpoint once.
 
 One service process hosts many named graphs — *tenants* — through a
 :class:`~repro.service.tenancy.GraphRegistry`: every query carries an
@@ -19,8 +23,10 @@ bundle store, sampler scheme, and engine parameters.
 
 Reads and writes never block each other.  Every tenant batch pins an
 immutable :class:`~repro.service.epoch.EngineSnapshot` (a refcounted epoch
-lease, see :mod:`repro.service.epoch`) and answers entirely from it;
-mutation batches (:class:`~repro.service.tenancy.MutationLog`, ingested via
+lease, see :mod:`repro.service.epoch`) and answers entirely from it — the
+executors run the exact algorithms on the snapshot's pinned CSR view, so no
+method ever reads the mutable dict graph or serializes with ingest.
+Mutation batches (:class:`~repro.service.tenancy.MutationLog`, ingested via
 :meth:`SimilarityService.mutate`) are applied by a dedicated single-writer
 thread that publishes the successor epoch atomically.  Submission order is
 still honoured per tenant: a query submitted *after* a mutation waits for
@@ -31,19 +37,22 @@ epochs even while a large mutation batch is mid-apply.  Set
 processed inline by the dispatcher, stalling every tenant's queries behind
 ingest) — kept as the comparison baseline of the epoch experiment.
 
-Because each tenant's sampler derives every walk from ``(seed, vertex, twin,
-shard)`` world keys, the service's answers are bit-identical across executor
-kinds, worker counts, and ``read_workers`` settings — every answer equals a
-standalone engine built at the graph version its epoch pinned — and an
-evicted-then-resampled bundle reproduces exactly.
+Because all executor randomness is keyed — walk bundles from ``(seed,
+vertex, twin, shard)`` world keys, SR-SP filters from per-walk-count seed
+streams — the service's answers are bit-identical across executor kinds,
+worker counts, and ``read_workers`` settings: for every method, every
+answer equals a standalone :class:`~repro.core.engine.SimRankEngine` built
+at the graph version its epoch pinned with the tenant's ``seed`` /
+``shard_size``, and an evicted-then-resampled bundle reproduces exactly.
 
-Queries default to the paper's Sampling estimator (the one that benefits
-from bundle reuse) at the tenant's configured walk count; a per-query
-``num_walks=`` override (validated against the tenant's
-``max_num_walks`` admission cap) trades accuracy for latency per request.
-Any other engine method is accepted and routed through the engine / top-k
-helpers as a per-query fallback sharing the engine caches (serialized with
-ingest, since it reads the mutable graph).
+Queries default to the paper's Sampling estimator at the tenant's
+configured walk count; a per-query ``num_walks=`` override (validated
+against the tenant's ``max_num_walks`` admission cap, and against the
+method's executor — the exact ``baseline`` rejects it with a clear error
+instead of silently ignoring it) trades accuracy for latency per request.
+Top-k results are returned as :class:`TopKResult` — a plain list of scored
+tuples that additionally carries the ``epoch`` / ``graph_version`` that
+answered it.
 """
 
 from __future__ import annotations
@@ -57,29 +66,22 @@ from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
-import numpy as np
-
-from repro.core.batch_walks import (
-    meeting_probabilities_against_many,
-    meeting_probabilities_from_matrices,
-)
 from repro.core.engine import SimRankEngine
+from repro.core.executors import (
+    EngineSnapshot,
+    MethodExecutor,
+    executor_for,
+)
 from repro.core.simrank import (
     DEFAULT_DECAY,
     DEFAULT_ITERATIONS,
     SimRankResult,
-    simrank_from_meeting_probabilities,
 )
 from repro.core.sampling import DEFAULT_NUM_WALKS
-from repro.core.topk import (
-    PAIR_CHUNK_SIZE,
-    rank_top_k,
-    top_k_similar_pairs,
-    top_k_similar_to,
-)
+from repro.core.topk import PAIR_CHUNK_SIZE, rank_top_k
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.service.bundle_store import DEFAULT_BUDGET_BYTES, WalkBundleStore
-from repro.service.epoch import EngineSnapshot, EpochLease
+from repro.service.epoch import EpochLease
 from repro.service.sharding import DEFAULT_SHARD_SIZE, ShardedWalkSampler
 from repro.service.tenancy import (
     DEFAULT_GRAPH_NAME,
@@ -97,6 +99,31 @@ ScoredVertex = Tuple[Vertex, float]
 
 #: How mutation ingest is scheduled relative to query batches.
 INGEST_MODES = ("epoch", "serialized")
+
+
+class TopKResult(list):
+    """A ranked top-k answer plus the epoch that produced it.
+
+    Behaves exactly like the plain list of scored tuples older clients
+    expect (equality, iteration, indexing); the provenance of the answer —
+    which immutable snapshot scored it — rides along as attributes and is
+    surfaced as the ``epoch`` / ``graph_version`` response fields of the
+    JSONL runner.
+    """
+
+    __slots__ = ("epoch", "graph_version", "graph")
+
+    def __init__(
+        self,
+        items: Sequence,
+        epoch: Optional[int] = None,
+        graph_version: Optional[int] = None,
+        graph: Optional[str] = None,
+    ) -> None:
+        super().__init__(items)
+        self.epoch = epoch
+        self.graph_version = graph_version
+        self.graph = graph
 
 
 @dataclass(frozen=True)
@@ -141,9 +168,6 @@ class TopKVertexQuery:
 
 Query = Union[PairQuery, TopKPairsQuery, TopKVertexQuery]
 
-#: A bundle need: (dense vertex index, twin flag, walk count).
-BundleNeed = Tuple[int, bool, int]
-
 
 @dataclass
 class _MutationItem:
@@ -156,9 +180,25 @@ class _MutationItem:
 
 _SHUTDOWN = object()
 
-#: Plan sentinel: a TopKPairsQuery over the default (all-pairs) space, which
-#: is streamed in chunks instead of being planned as one batch.
-_ALL_PAIRS = object()
+
+@dataclass
+class _QueryPlan:
+    """One validated query, reduced to the pairs its executor must score.
+
+    ``kind`` is ``"pair"`` / ``"topk_vertex"`` / ``"topk_pairs"`` /
+    ``"all_pairs"`` (the streamed default pair space); ``walks`` is the
+    admitted per-query ``num_walks`` override (``None`` = tenant default,
+    part of the executor-group key so mixed-fidelity batches never mix
+    bundles); ``items`` holds the ranked candidates (vertices or pairs) in
+    submission order for deterministic tie-breaking.
+    """
+
+    kind: str
+    method: str
+    walks: Optional[int]
+    pairs: List[Tuple[Vertex, Vertex]] = field(default_factory=list)
+    items: list = field(default_factory=list)
+    k: int = 0
 
 
 @dataclass
@@ -373,7 +413,7 @@ class SimilarityService:
 
     @property
     def engine(self) -> SimRankEngine:
-        """The default tenant's engine (used by non-sampling fallbacks)."""
+        """The default tenant's engine (parameter source of its snapshots)."""
         return self.tenant().engine
 
     # -- lifecycle ------------------------------------------------------------
@@ -701,40 +741,74 @@ class SimilarityService:
         batch: List[Tuple[Query, "Future"]],
     ) -> None:
         # Validate and plan every query, isolating per-query failures.
-        plans: List[Tuple[Query, "Future", object]] = []
-        needs: List[BundleNeed] = []
-        seen_needs = set()
-
-        def need(vertex_index: int, twin: bool, num_walks: int) -> None:
-            request = (vertex_index, twin, num_walks)
-            if request not in seen_needs:
-                seen_needs.add(request)
-                needs.append(request)
-
+        planned: List[Tuple[Query, "Future", _QueryPlan]] = []
         for query, future in batch:
             try:
-                plan = self._plan(tenant, snapshot, query, need)
+                planned.append((query, future, self._plan(tenant, snapshot, query)))
             except Exception as error:
                 _resolve(future, error=error)
-                continue
-            plans.append((query, future, plan))
 
-        try:
-            bundles = self._ensure_bundles(tenant, snapshot, needs)
-        except Exception as error:
-            # e.g. a broken worker pool: fail the whole batch, keep serving.
-            for _, future, _ in plans:
-                _resolve(future, error=error)
-            return
-
-        for query, future, plan in plans:
-            try:
-                _resolve(
-                    future,
-                    result=self._answer(tenant, snapshot, query, plan, bundles),
-                )
-            except Exception as error:
-                _resolve(future, error=error)
+        # One snapshot-scoped executor per (method, walk count) group: the
+        # pairs of every query in a group are scored by a single run_batch,
+        # so bundle / exact-prefix work is shared across queries of the
+        # batch, not just within one.  No method-specific branches: all four
+        # methods flow through MethodExecutor.run_batch on this read worker.
+        groups: Dict[
+            Tuple[str, Optional[int]], List[Tuple[Query, "Future", _QueryPlan]]
+        ] = {}
+        for entry in planned:
+            plan = entry[2]
+            groups.setdefault((plan.method, plan.walks), []).append(entry)
+        for (method, walks), entries in groups.items():
+            executor = executor_for(method)(snapshot)
+            overrides: Dict[str, object] = {} if walks is None else {"num_walks": walks}
+            scored = [entry for entry in entries if entry[2].kind != "all_pairs"]
+            streamed = [entry for entry in entries if entry[2].kind == "all_pairs"]
+            if scored:
+                flat = [pair for _, _, plan in scored for pair in plan.pairs]
+                try:
+                    results = executor.run_batch(flat, overrides)
+                except Exception:
+                    # The shared batch failed — e.g. one query's endpoint
+                    # blew the exact walk-state budget or broke the sampler
+                    # pool.  Retry per query on the same executor (keyed
+                    # randomness: answers cannot change) so the failure
+                    # stays with the query that caused it.
+                    for query, future, plan in scored:
+                        try:
+                            _resolve(
+                                future,
+                                result=self._assemble(
+                                    tenant,
+                                    snapshot,
+                                    plan,
+                                    executor.run_batch(plan.pairs, overrides),
+                                ),
+                            )
+                        except Exception as error:
+                            _resolve(future, error=error)
+                else:
+                    offset = 0
+                    for query, future, plan in scored:
+                        share = results[offset : offset + len(plan.pairs)]
+                        offset += len(plan.pairs)
+                        try:
+                            _resolve(
+                                future,
+                                result=self._assemble(tenant, snapshot, plan, share),
+                            )
+                        except Exception as error:
+                            _resolve(future, error=error)
+            for query, future, plan in streamed:
+                try:
+                    _resolve(
+                        future,
+                        result=self._answer_all_pairs_streamed(
+                            tenant, snapshot, executor, plan, overrides
+                        ),
+                    )
+                except Exception as error:
+                    _resolve(future, error=error)
 
     # -- planning and answering ------------------------------------------------
 
@@ -756,221 +830,137 @@ class SimilarityService:
         return walks
 
     def _plan(
-        self, tenant: GraphTenant, snapshot: EngineSnapshot, query: Query, need
-    ) -> object:
-        """Resolve vertices, register bundle needs, and return an answer plan."""
-        walks = self._effective_num_walks(tenant, snapshot, query)
-        if query.method != "sampling":
-            return None  # engine fallback; no bundles needed
+        self, tenant: GraphTenant, snapshot: EngineSnapshot, query: Query
+    ) -> _QueryPlan:
+        """Validate one query and reduce it to the pairs its executor scores."""
+        executor_cls = executor_for(query.method)
+        walks: Optional[int] = None
+        if query.num_walks is not None:
+            # Uniform admission: the method's executor declares whether a
+            # num_walks override is meaningful (the exact baseline rejects
+            # it with a clear error instead of silently ignoring it), then
+            # the tenant's max_num_walks cap is applied.
+            executor_cls.check_overrides({"num_walks": query.num_walks})
+            walks = self._effective_num_walks(tenant, snapshot, query)
+            if walks == snapshot.num_walks:
+                # Normalize an explicit request for the tenant default so it
+                # groups (and shares batch work) with default-walk queries.
+                walks = None
         csr = snapshot.csr
+
+        def require(vertex: Vertex) -> None:
+            if not csr.has_vertex(vertex):
+                raise InvalidParameterError(
+                    f"vertex {vertex!r} is not in the graph"
+                )
+
         if isinstance(query, PairQuery):
-            u_index = csr.index_of(query.u)
-            v_index = csr.index_of(query.v)
-            need(u_index, False, walks)
-            need(v_index, u_index == v_index, walks)
-            return (u_index, v_index, walks)
+            require(query.u)
+            require(query.v)
+            return _QueryPlan(
+                "pair", query.method, walks, pairs=[(query.u, query.v)]
+            )
         if isinstance(query, TopKVertexQuery):
             if query.k < 1:
                 raise InvalidParameterError(f"k must be >= 1, got {query.k}")
-            query_index = csr.index_of(query.query)
+            require(query.query)
             if query.candidates is None:
                 candidates = [v for v in csr.vertices if v != query.query]
             else:
-                candidates = [v for v in query.candidates if v != query.query]
-            candidate_indices = [csr.index_of(v) for v in candidates]
-            need(query_index, False, walks)
-            for index in candidate_indices:
-                need(index, False, walks)
-            return (query_index, candidates, candidate_indices, walks)
+                candidates = []
+                for vertex in query.candidates:
+                    if vertex == query.query:
+                        continue
+                    require(vertex)
+                    candidates.append(vertex)
+            return _QueryPlan(
+                "topk_vertex",
+                query.method,
+                walks,
+                pairs=[(query.query, candidate) for candidate in candidates],
+                items=candidates,
+                k=query.k,
+            )
         if query.k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {query.k}")
         if query.candidate_pairs is None:
-            # The quadratic default pair space is streamed chunk by chunk in
-            # _answer rather than planned here: registering a bundle need for
-            # every vertex would pin all bundles live at once, defeating both
-            # the store's LRU budget and the chunked top_k_similar_pairs.
-            return (_ALL_PAIRS, walks)
-        pairs = list(query.candidate_pairs)
-        pair_indices = []
+            # The quadratic default pair space is streamed chunk by chunk
+            # rather than planned here: scoring it as one batch would pin
+            # every vertex's bundle live at once, defeating the store's LRU
+            # budget.
+            return _QueryPlan("all_pairs", query.method, walks, k=query.k)
+        pairs = [(u, v) for u, v in query.candidate_pairs]
         for u, v in pairs:
-            u_index = csr.index_of(u)
-            v_index = csr.index_of(v)
-            need(u_index, False, walks)
-            need(v_index, u_index == v_index, walks)
-            pair_indices.append((u_index, v_index))
-        return (pairs, pair_indices, walks)
+            require(u)
+            require(v)
+        return _QueryPlan(
+            "topk_pairs", query.method, walks, pairs=pairs, items=pairs, k=query.k
+        )
 
-    def _ensure_bundles(
+    def _assemble(
         self,
         tenant: GraphTenant,
         snapshot: EngineSnapshot,
-        needs: Sequence[BundleNeed],
-    ) -> Dict[BundleNeed, np.ndarray]:
-        """Serve needs from the epoch's store view; sample misses in a sweep.
-
-        The returned dict holds direct references for the duration of the
-        batch, so concurrent evictions cannot pull a bundle out from under a
-        query that planned on it.  Lookups and inserts go through the
-        snapshot's :class:`~repro.service.epoch.VersionedStoreView`, so a
-        batch on a retiring epoch can neither read a newer version's bundle
-        nor leak its own into the successor's cache.
-        """
-        iterations = snapshot.iterations
-        bundles: Dict[BundleNeed, np.ndarray] = {}
-        missing: List[BundleNeed] = []
-        for request in needs:
-            vertex_index, twin, walks = request
-            cached = snapshot.store_view.get(
-                tenant.sampler.store_key(vertex_index, twin, iterations, walks)
-            )
-            if cached is None:
-                missing.append(request)
-            else:
-                bundles[request] = cached
-        by_walks: Dict[int, List[BundleNeed]] = {}
-        for request in missing:
-            by_walks.setdefault(request[2], []).append(request)
-        for walks, group in by_walks.items():
-            sampled = tenant.sampler.sample_bundles(
-                snapshot.csr,
-                [(vertex_index, twin) for vertex_index, twin, _ in group],
-                iterations,
-                walks,
-            )
-            for vertex_index, twin, _ in group:
-                bundle = sampled[(vertex_index, twin)]
-                snapshot.store_view.put(
-                    tenant.sampler.store_key(vertex_index, twin, iterations, walks),
-                    bundle,
-                )
-                bundles[(vertex_index, twin, walks)] = bundle
-        return bundles
-
-    def _score_from_meetings(
-        self, snapshot: EngineSnapshot, meetings: Sequence[float]
-    ) -> float:
-        return simrank_from_meeting_probabilities(meetings, snapshot.decay)
-
-    def _answer(
-        self,
-        tenant: GraphTenant,
-        snapshot: EngineSnapshot,
-        query: Query,
-        plan: object,
-        bundles: Dict[BundleNeed, np.ndarray],
+        plan: _QueryPlan,
+        results: Sequence[SimRankResult],
     ) -> object:
-        if plan is None:
-            return self._answer_fallback(tenant, snapshot, query)
-        iterations = snapshot.iterations
-        if isinstance(query, PairQuery):
-            u_index, v_index, walks = plan
-            same = u_index == v_index
-            meetings = meeting_probabilities_from_matrices(
-                bundles[(u_index, False, walks)],
-                bundles[(v_index, same, walks)],
-                iterations,
-                same,
-            )
-            return SimRankResult(
-                u=query.u,
-                v=query.v,
-                score=self._score_from_meetings(snapshot, meetings),
-                meeting_probabilities=tuple(meetings),
-                decay=snapshot.decay,
-                iterations=iterations,
-                method="sampling",
-                details={
-                    "num_walks": walks,
-                    "backend": "vectorized",
-                    "shared_bundles": True,
-                    "service": True,
-                    "graph": tenant.name,
-                    "epoch": snapshot.epoch_id,
-                    "graph_version": snapshot.graph_version,
-                },
-            )
-        if isinstance(query, TopKVertexQuery):
-            query_index, candidates, candidate_indices, walks = plan
-            if not candidates:
-                return []
-            tails = meeting_probabilities_against_many(
-                bundles[(query_index, False, walks)],
-                [bundles[(index, False, walks)] for index in candidate_indices],
-                iterations,
-            )
-            # m(0) = 0 for every candidate (the query itself is excluded).
-            # Combined with the same scalar formula as pair queries so that a
-            # top-k entry and the corresponding pair query agree bit-for-bit.
-            scores = [
-                self._score_from_meetings(snapshot, [0.0] + row.tolist())
-                for row in tails
+        """Shape one query's executor results into its response."""
+        if plan.kind == "pair":
+            result = results[0]
+            result.details["service"] = True
+            result.details["graph"] = tenant.name
+            return result
+        # Scores come from the same executors as pair queries, so a top-k
+        # entry and the corresponding pair query agree bit-for-bit; ranking
+        # is deterministic (ties keep candidate order).
+        scores = [result.score for result in results]
+        order = rank_top_k(plan.k, scores)
+        if plan.kind == "topk_vertex":
+            ranked: list = [(plan.items[index], scores[index]) for index in order]
+        else:
+            ranked = [
+                (plan.items[index][0], plan.items[index][1], scores[index])
+                for index in order
             ]
-            order = rank_top_k(query.k, scores)
-            return [(candidates[index], scores[index]) for index in order]
-        if plan[0] is _ALL_PAIRS:
-            return self._answer_all_pairs_streamed(tenant, snapshot, query, plan[1])
-        pairs, pair_indices, walks = plan
-        scores = []
-        for u_index, v_index in pair_indices:
-            same = u_index == v_index
-            meetings = meeting_probabilities_from_matrices(
-                bundles[(u_index, False, walks)],
-                bundles[(v_index, same, walks)],
-                iterations,
-                same,
-            )
-            scores.append(self._score_from_meetings(snapshot, meetings))
-        order = rank_top_k(query.k, scores)
-        return [(pairs[index][0], pairs[index][1], scores[index]) for index in order]
+        return TopKResult(
+            ranked,
+            epoch=snapshot.epoch_id,
+            graph_version=snapshot.graph_version,
+            graph=tenant.name,
+        )
 
     def _answer_all_pairs_streamed(
         self,
         tenant: GraphTenant,
         snapshot: EngineSnapshot,
-        query: TopKPairsQuery,
-        walks: int,
-    ) -> List[ScoredPair]:
+        executor: MethodExecutor,
+        plan: _QueryPlan,
+        overrides: Dict[str, object],
+    ) -> "TopKResult":
         """Top-k over the default quadratic pair space, chunk by chunk.
 
-        Each chunk resolves its bundles through :meth:`_ensure_bundles` (so
-        the store's LRU budget bounds residency and repeated endpoints hit
-        the cache) and feeds a bounded heap; memory stays O(k + chunk) no
-        matter the graph size.  Tie-breaking matches :func:`rank_top_k`.
+        Each chunk scores through the group's executor, sharing prefix work
+        and bundles within the chunk; between chunks the executor's shared
+        state is reset (and the store's LRU budget bounds bundle residency),
+        so memory stays O(k + chunk) no matter the graph size.  Tie-breaking
+        matches :func:`rank_top_k`.
         """
-        csr = snapshot.csr
-        iterations = snapshot.iterations
         best: List[Tuple[float, int, Vertex, Vertex]] = []
         counter = 0
         chunk: List[Tuple[Vertex, Vertex]] = []
 
         def score_chunk() -> None:
             nonlocal counter
-            needs: List[BundleNeed] = []
-            seen = set()
-            pair_indices = []
-            for u, v in chunk:
-                u_index, v_index = csr.index_of(u), csr.index_of(v)
-                for request in ((u_index, False, walks), (v_index, False, walks)):
-                    if request not in seen:
-                        seen.add(request)
-                        needs.append(request)
-                pair_indices.append((u_index, v_index))
-            bundles = self._ensure_bundles(tenant, snapshot, needs)
-            for (u, v), (u_index, v_index) in zip(chunk, pair_indices):
-                meetings = meeting_probabilities_from_matrices(
-                    bundles[(u_index, False, walks)],
-                    bundles[(v_index, False, walks)],
-                    iterations,
-                    False,
-                )
-                item = (self._score_from_meetings(snapshot, meetings), -counter, u, v)
-                if len(best) < query.k:
+            for (u, v), result in zip(chunk, executor.run_batch(chunk, overrides)):
+                item = (result.score, -counter, u, v)
+                if len(best) < plan.k:
                     heapq.heappush(best, item)
                 elif item > best[0]:
                     heapq.heapreplace(best, item)
                 counter += 1
+            executor.reset_shared_state()
 
-        for pair in itertools.combinations(csr.vertices, 2):
+        for pair in itertools.combinations(snapshot.csr.vertices, 2):
             chunk.append(pair)
             if len(chunk) >= PAIR_CHUNK_SIZE:
                 score_chunk()
@@ -978,55 +968,12 @@ class SimilarityService:
         if chunk:
             score_chunk()
         ranked = sorted(best, reverse=True)
-        return [(u, v, score) for score, _, u, v in ranked]
-
-    def _answer_fallback(
-        self, tenant: GraphTenant, snapshot: EngineSnapshot, query: Query
-    ) -> object:
-        """Non-sampling methods, routed through the engine / top-k helpers.
-
-        The engine reads the mutable dict graph and draws from a stateful
-        generator, so fallback answering serializes with ingest under the
-        tenant's write lock; it reports the live graph version at execution
-        time rather than a pinned epoch.  In the common case — no mutation
-        landed since the pin — the live version equals the snapshot's and
-        the answer is computed from the epoch's pinned caches (α cache,
-        SR-SP filters); after a mutation the engine's own refreshed caches
-        take over, since the pinned ones describe a graph state the dict
-        graph no longer holds.
-        """
-        overrides: Dict[str, object] = {}
-        if query.num_walks is not None and query.method != "baseline":
-            overrides["num_walks"] = int(query.num_walks)
-        with tenant.write_lock:
-            if tenant.graph.version == snapshot.graph_version:
-                overrides["alpha_cache"] = snapshot.caches.alpha_cache
-            if isinstance(query, PairQuery):
-                return tenant.engine.similarity(
-                    query.u, query.v, method=query.method, **overrides
-                )
-            if isinstance(query, TopKVertexQuery):
-                return top_k_similar_to(
-                    tenant.engine,
-                    query.query,
-                    query.k,
-                    candidates=(
-                        list(query.candidates) if query.candidates is not None else None
-                    ),
-                    method=query.method,
-                    **overrides,
-                )
-            return top_k_similar_pairs(
-                tenant.engine,
-                query.k,
-                candidate_pairs=(
-                    list(query.candidate_pairs)
-                    if query.candidate_pairs is not None
-                    else None
-                ),
-                method=query.method,
-                **overrides,
-            )
+        return TopKResult(
+            [(u, v, score) for score, _, u, v in ranked],
+            epoch=snapshot.epoch_id,
+            graph_version=snapshot.graph_version,
+            graph=tenant.name,
+        )
 
 
 def _resolve(future: "Future", result: object = None, error: "Exception | None" = None) -> None:

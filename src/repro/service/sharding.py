@@ -37,16 +37,25 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.batch_walks import bundle_key, sample_walk_matrix_keyed
+from repro.core.batch_walks import (
+    DEFAULT_SHARD_SIZE,
+    bundle_key,
+    endpoint_world_keys,
+    sample_walk_matrix_keyed,
+    shard_world_keys,
+)
 from repro.graph.csr import CSRGraph
 from repro.utils.errors import InvalidParameterError
 
 #: How shard evaluation is distributed.
 EXECUTORS = ("serial", "thread", "process")
 
-#: Default number of walks per shard.  Part of the RNG scheme: two samplers
-#: agree bit-for-bit only if they use the same seed *and* shard size.
-DEFAULT_SHARD_SIZE = 256
+__all__ = [
+    "DEFAULT_SHARD_SIZE",
+    "EXECUTORS",
+    "ShardedWalkSampler",
+    "shard_world_keys",
+]
 
 #: A bundle request: (dense vertex index, twin flag).
 BundleRequest = Tuple[int, bool]
@@ -70,18 +79,6 @@ def _process_task(
 ) -> np.ndarray:
     assert _WORKER_CSR is not None, "worker pool initializer did not run"
     return sample_walk_matrix_keyed(_WORKER_CSR, sources, length, world_keys)
-
-
-def shard_world_keys(
-    seed: int, vertex_index: int, twin: bool, shard_index: int, shard_length: int
-) -> np.ndarray:
-    """The world keys of one shard — a pure function of its coordinates."""
-    sequence = np.random.SeedSequence(
-        entropy=seed, spawn_key=(int(vertex_index), int(bool(twin)), int(shard_index))
-    )
-    return np.random.default_rng(sequence).integers(
-        0, 2**64, size=shard_length, dtype=np.uint64
-    )
 
 
 class ShardedWalkSampler:
@@ -204,14 +201,9 @@ class ShardedWalkSampler:
 
     def world_keys(self, vertex_index: int, twin: bool, num_walks: int) -> np.ndarray:
         """All ``num_walks`` world keys of one endpoint, shard by shard."""
-        keys = np.empty(num_walks, dtype=np.uint64)
-        for shard in range(self.num_shards(num_walks)):
-            start = shard * self.shard_size
-            stop = min(start + self.shard_size, num_walks)
-            keys[start:stop] = shard_world_keys(
-                self.seed, vertex_index, twin, shard, stop - start
-            )
-        return keys
+        return endpoint_world_keys(
+            self.seed, vertex_index, twin, num_walks, self.shard_size
+        )
 
     # -- sampling -------------------------------------------------------------
 

@@ -57,6 +57,7 @@ from repro.service.epoch import (
     EngineSnapshot,
     EpochLease,
     EpochManager,
+    PooledWalkSource,
     VersionedStoreView,
 )
 from repro.service.sharding import DEFAULT_SHARD_SIZE, EXECUTORS, ShardedWalkSampler
@@ -357,11 +358,15 @@ class GraphTenant:
             iterations=config.iterations,
             num_walks=config.num_walks,
             seed=config.seed,
+            # The engine and the sampler must share one (seed, shard_size)
+            # keyed scheme so that a standalone engine at a pinned graph
+            # version answers bit-identically to the service.
+            shard_size=config.shard_size,
             bundle_store=self.store,
         )
         self.epochs = EpochManager()
-        #: Serializes writers (mutation ingest, epoch refresh) and the
-        #: engine-fallback query path, which reads the mutable dict graph.
+        #: Serializes writers (mutation ingest, epoch refresh).  Queries
+        #: never take it: every method answers from pinned epoch snapshots.
         self.write_lock = threading.Lock()
         self._applying = False
         self.mutations_applied = 0
@@ -410,15 +415,22 @@ class GraphTenant:
                 "(build it with CSRGraph.from_uncertain)"
             )
         invalidated = self.store.sync_version(token)
+        view = VersionedStoreView(self.store, token)
         snapshot = EngineSnapshot(
             epoch_id=0,  # assigned by the manager
             graph_version=csr.version,
             csr=csr,
-            store_view=VersionedStoreView(self.store, token),
+            store_view=view,
+            # No re-freeze here: ``csr`` is installed in the graph's
+            # per-version snapshot cache (both rebuild paths do), so the
+            # refreshed caches pin this very object, not a second copy.
             caches=self.engine.caches,
             decay=self.engine.decay,
             iterations=self.engine.iterations,
             num_walks=self.engine.num_walks,
+            exact_prefix=self.engine.exact_prefix,
+            backend=self.engine.backend,
+            walks=PooledWalkSource(self.sampler, view),
         )
         self.epochs.publish(snapshot)
         return invalidated

@@ -26,6 +26,7 @@ class TestCLI:
             "service",
             "tenancy",
             "epoch",
+            "methods",
             "case-ppi",
             "case-er",
         } == set(EXPERIMENTS)

@@ -15,6 +15,8 @@ import numpy as np
 import pytest
 
 from repro.core.batch_walks import sample_walk_matrix_keyed
+from repro.core.engine import SimRankEngine
+from repro.core.topk import rank_top_k
 from repro.graph.csr import CSRGraph
 from repro.graph.uncertain_graph import UncertainGraph, example_graph
 from repro.service import (
@@ -537,6 +539,187 @@ class TestConcurrentIngestStress:
         registry.close()
 
 
+class TestExactMethodsThroughService:
+    """Satellite acceptance: ``two_phase`` and ``speedup`` answers through
+    the service (read_workers=4, under concurrent ingest) are bit-identical
+    to a standalone :class:`SimRankEngine` at the pinned graph version, for
+    all three query types.  The executors run the exact stages on the pinned
+    CSR view and key all sampled randomness, so no method serializes with
+    ingest anymore."""
+
+    METHODS_UNDER_TEST = ("two_phase", "speedup")
+    CANDIDATES = ("v2", "v3", "v4")
+    PAIRS = (("v1", "v2"), ("v2", "v3"))
+
+    def _expected_for(self, frozen: UncertainGraph, num_walks: int, seed: int) -> dict:
+        """Standalone-engine answers for every method and query type."""
+        engine = SimRankEngine(
+            frozen.copy(), iterations=4, num_walks=num_walks, seed=seed
+        )
+        expected: dict = {}
+        for method in self.METHODS_UNDER_TEST:
+            pair_score = engine.similarity("v1", "v2", method=method).score
+            vertex_scores = [
+                engine.similarity("v1", candidate, method=method).score
+                for candidate in self.CANDIDATES
+            ]
+            top_vertices = tuple(
+                (self.CANDIDATES[index], vertex_scores[index])
+                for index in rank_top_k(2, vertex_scores)
+            )
+            pair_scores = [
+                engine.similarity(u, v, method=method).score for u, v in self.PAIRS
+            ]
+            top_pairs = tuple(
+                (self.PAIRS[index][0], self.PAIRS[index][1], pair_scores[index])
+                for index in rank_top_k(2, pair_scores)
+            )
+            expected[method] = {
+                "pair": pair_score,
+                "topk_vertex": top_vertices,
+                "topk_pairs": top_pairs,
+            }
+        return expected
+
+    def test_bit_identity_under_concurrent_ingest(self):
+        num_walks = 60
+        rounds = 3
+        seed = 19
+        graph = example_graph()
+        logs = [
+            MutationLog().add_edge("v4", f"ingest-{index}", 0.3 + 0.1 * index)
+            for index in range(rounds)
+        ]
+        expected = {
+            version: self._expected_for(frozen, num_walks, seed)
+            for version, frozen in _precompute_states(graph, logs).items()
+        }
+
+        answers: list = []
+        answers_lock = threading.Lock()
+        stop = threading.Event()
+
+        def query_loop(service: SimilarityService, method: str) -> None:
+            while not stop.is_set():
+                pair = service.pair("v1", "v2", method=method)
+                top_vertices = service.top_k_for_vertex(
+                    "v1", 2, candidates=self.CANDIDATES, method=method
+                )
+                top_pairs = service.top_k_pairs(
+                    2, candidate_pairs=self.PAIRS, method=method
+                )
+                with answers_lock:
+                    answers.append(
+                        (method, "pair", pair.details["graph_version"], pair.score)
+                    )
+                    answers.append(
+                        (
+                            method,
+                            "topk_vertex",
+                            top_vertices.graph_version,
+                            tuple(top_vertices),
+                        )
+                    )
+                    answers.append(
+                        (
+                            method,
+                            "topk_pairs",
+                            top_pairs.graph_version,
+                            tuple(top_pairs),
+                        )
+                    )
+
+        with SimilarityService(
+            graph,
+            iterations=4,
+            num_walks=num_walks,
+            seed=seed,
+            read_workers=STRESS_READ_WORKERS,
+            batch_wait_seconds=0.0005,
+        ) as service:
+            threads = [
+                threading.Thread(target=query_loop, args=(service, method))
+                for method in self.METHODS_UNDER_TEST
+                for _ in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+            try:
+                for log in logs:
+                    report = service.mutate(log)
+                    assert report.incremental
+            finally:
+                stop.set()
+                for thread in threads:
+                    thread.join()
+            final = {
+                method: service.pair("v1", "v2", method=method)
+                for method in self.METHODS_UNDER_TEST
+            }
+            tenant_stats = service.tenant().epochs.stats()
+
+        assert len(answers) > 0
+        seen_kinds = {(method, kind) for method, kind, _, _ in answers}
+        for method in self.METHODS_UNDER_TEST:
+            for kind in ("pair", "topk_vertex", "topk_pairs"):
+                assert (method, kind) in seen_kinds
+        for method, kind, version, payload in answers:
+            assert version in expected, (method, kind, version)
+            assert payload == expected[version][method][kind], (method, kind, version)
+        last_version = max(expected)
+        for method, result in final.items():
+            assert result.details["graph_version"] == last_version
+            assert result.score == expected[last_version][method]["pair"]
+
+        # Leak check: all retired epochs freed once their readers drained.
+        assert tenant_stats["live"] == 1, tenant_stats
+        assert tenant_stats["pinned"] == 0, tenant_stats
+
+    def test_baseline_through_service_is_epoch_pinned_too(self):
+        """The exact baseline answers from the pinned snapshot — a query
+        racing a mutation reports the graph version its score belongs to."""
+        graph = example_graph()
+        frozen = graph.copy()
+        with SimilarityService(graph, iterations=4, seed=7) as service:
+            before = service.pair("v1", "v2", method="baseline")
+            service.mutate(MutationLog().add_edge("v5", "v1", 0.9))
+            after = service.pair("v1", "v2", method="baseline")
+        expected_before = SimRankEngine(frozen.copy(), iterations=4).similarity(
+            "v1", "v2", method="baseline"
+        )
+        mutated = frozen.copy()
+        mutated.add_arc("v5", "v1", 0.9)
+        expected_after = SimRankEngine(mutated, iterations=4).similarity(
+            "v1", "v2", method="baseline"
+        )
+        assert before.score == expected_before.score
+        assert after.score == expected_after.score
+        assert after.details["epoch"] == before.details["epoch"] + 1
+        assert after.details["graph_version"] > before.details["graph_version"]
+
+    def test_uniform_override_rejection_through_service(self):
+        """Satellite: num_walks on baseline is rejected with a clear error
+        naming the accepted overrides — never silently ignored — and the
+        worker keeps serving."""
+        with SimilarityService(example_graph(), num_walks=50, seed=1) as service:
+            with pytest.raises(
+                InvalidParameterError, match="does not accept.*num_walks"
+            ):
+                service.pair("v1", "v2", method="baseline", num_walks=25)
+            with pytest.raises(
+                InvalidParameterError, match="does not accept.*num_walks"
+            ):
+                service.top_k_for_vertex("v1", 2, method="baseline", num_walks=25)
+            # sampled methods still admit the same override
+            assert (
+                service.pair("v1", "v2", method="two_phase", num_walks=25).details[
+                    "num_walks"
+                ]
+                == 25
+            )
+            assert service.pair("v1", "v2", method="baseline").score >= 0.0
+
+
 class TestRunnerEpochSurface:
     def _run(self, lines, *extra_args):
         import io
@@ -571,6 +754,43 @@ class TestRunnerEpochSurface:
         assert after["epoch"] == 2
         assert after["graph_version"] == report["version"]
         assert after["graph_version"] > before["graph_version"]
+
+    def test_every_method_and_query_type_carries_epoch(self):
+        """Satellite: JSONL responses for non-sampling queries (and for the
+        top-k query types) carry epoch / graph_version like sampling pair
+        responses always did."""
+        lines = [
+            '{"op": "pair", "u": "v1", "v": "v2", "method": "%s"}' % method
+            for method in ("baseline", "sampling", "two_phase", "speedup")
+        ] + [
+            '{"op": "top_k", "query": "v1", "k": 2, "method": "baseline"}',
+            '{"op": "top_k_pairs", "k": 2, "pairs": [["v1", "v2"], ["v2", "v3"]],'
+            ' "method": "two_phase"}',
+            '{"op": "mutate", "graph": "default", "ops": ['
+            '{"op": "add_edge", "u": "v5", "v": "v1", "probability": 0.9}]}',
+            '{"op": "pair", "u": "v1", "v": "v2", "method": "baseline"}',
+        ]
+        code, responses = self._run(lines, "--read-workers", "2")
+        assert code == 0
+        for response in responses[:6]:
+            assert response["epoch"] == 1, response
+            assert "graph_version" in response, response
+        report, after = responses[6], responses[7]
+        assert after["epoch"] == 2
+        assert after["graph_version"] == report["version"]
+
+    def test_baseline_num_walks_override_rejected(self):
+        code, responses = self._run(
+            [
+                '{"op": "pair", "u": "v1", "v": "v2", "method": "baseline",'
+                ' "num_walks": 50}',
+                '{"op": "pair", "u": "v1", "v": "v2", "method": "baseline"}',
+            ]
+        )
+        assert code == 0
+        assert "does not accept" in responses[0]["error"]
+        assert "num_walks" in responses[0]["error"]
+        assert 0.0 <= responses[1]["score"] <= 1.0
 
     def test_num_walks_override_and_cap(self):
         code, responses = self._run(

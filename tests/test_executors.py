@@ -1,0 +1,260 @@
+"""Tests for the snapshot-scoped method executors (repro.core.executors).
+
+Covers the registry and the uniform override declarations, the batched
+shared-prefix stages of the exact-path executors (bit-identity to the
+per-pair algorithms), the keyed walk source (bit-identity to the sharded
+sampler), and the batching-never-changes-answers property every vectorized
+executor now has.
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+
+import numpy as np
+import pytest
+
+from repro.core.baseline import baseline_simrank
+from repro.core.engine import SimRankEngine
+from repro.core.executors import (
+    EXECUTOR_TYPES,
+    METHODS,
+    BaselineExecutor,
+    SerialWalkSource,
+    executor_for,
+    make_executor,
+)
+from repro.graph.csr import CSRGraph, CSRGraphView
+from repro.service import ShardedWalkSampler, WalkBundleStore
+from repro.utils.errors import InvalidParameterError
+
+
+class TestRegistry:
+    def test_every_paper_method_registered(self):
+        assert tuple(EXECUTOR_TYPES) == METHODS
+
+    def test_unknown_method_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown method"):
+            executor_for("magic")
+
+    def test_make_executor_builds_snapshot_scoped_instance(self, paper_graph):
+        engine = SimRankEngine(paper_graph, seed=3)
+        executor = make_executor("baseline", engine.snapshot())
+        assert isinstance(executor, BaselineExecutor)
+        assert executor.snapshot.csr is engine.caches.csr
+
+
+class TestAcceptedOverrides:
+    def test_baseline_rejects_num_walks_with_clear_error(self, paper_graph):
+        engine = SimRankEngine(paper_graph, seed=3)
+        with pytest.raises(InvalidParameterError) as excinfo:
+            engine.similarity("v1", "v2", method="baseline", num_walks=50)
+        message = str(excinfo.value)
+        assert "baseline" in message and "num_walks" in message
+        assert "max_states" in message  # the error names what IS accepted
+
+    def test_every_executor_rejects_unknown_override(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=50, seed=3)
+        for method in METHODS:
+            with pytest.raises(InvalidParameterError, match="does not accept"):
+                engine.similarity("v1", "v2", method=method, nonsense=1)
+
+    def test_sampled_methods_accept_num_walks(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=300, seed=3)
+        for method in ("sampling", "two_phase", "speedup"):
+            result = engine.similarity("v1", "v2", method=method, num_walks=40)
+            assert result.details["num_walks"] == 40
+
+    def test_exact_prefix_accepted_by_two_phase_family_only(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=50, seed=3)
+        for method in ("two_phase", "speedup"):
+            result = engine.similarity("v1", "v2", method=method, exact_prefix=2)
+            assert result.details["exact_prefix"] == 2
+        with pytest.raises(InvalidParameterError, match="does not accept"):
+            engine.similarity("v1", "v2", method="sampling", exact_prefix=2)
+
+
+class TestBatchedBaseline:
+    def test_batch_matches_per_pair_algorithm_exactly(self, paper_graph):
+        """The batched shared-prefix stage is a cost change, not a result
+        change: every score equals the per-pair baseline bit-for-bit."""
+        engine = SimRankEngine(paper_graph, iterations=4, seed=3)
+        pairs = list(combinations(paper_graph.vertices(), 2)) + [("v1", "v1")]
+        batched = engine.similarity_many(pairs, method="baseline")
+        for (u, v), result in zip(pairs, batched):
+            direct = baseline_simrank(paper_graph, u, v, iterations=4)
+            assert result.score == direct.score
+            assert result.meeting_probabilities == direct.meeting_probabilities
+
+    def test_prefix_work_shared_per_unique_endpoint(self, paper_graph):
+        """q unique endpoints cost q single-source runs, however many pairs."""
+        engine = SimRankEngine(paper_graph, iterations=3, seed=3)
+        executor = executor_for("baseline")(engine.snapshot())
+        pairs = list(combinations(["v1", "v2", "v3"], 2))
+        executor.run_batch(pairs)
+        assert len(executor._distributions) == 3  # not 2 * len(pairs)
+
+    def test_max_states_override_forwarded(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=4, seed=3)
+        result = engine.similarity("v1", "v2", method="baseline", max_states=7_000)
+        assert result.details["max_states"] == 7_000
+
+
+class TestBatchingNeverChangesAnswers:
+    """Keyed randomness: one batched call == per-pair calls, for every method."""
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_batched_equals_per_pair(self, paper_graph, method):
+        engine = SimRankEngine(paper_graph, iterations=4, num_walks=80, seed=11)
+        pairs = [("v1", "v2"), ("v1", "v3"), ("v2", "v4"), ("v3", "v3")]
+        batched = engine.similarity_many(pairs, method=method)
+        for (u, v), result in zip(pairs, batched):
+            single = engine.similarity(u, v, method=method)
+            assert result.score == single.score, (method, u, v)
+
+    @pytest.mark.parametrize("method", ("sampling", "two_phase", "speedup"))
+    def test_call_order_is_irrelevant(self, paper_graph, method):
+        first = SimRankEngine(paper_graph, iterations=4, num_walks=60, seed=5)
+        noisy = SimRankEngine(paper_graph, iterations=4, num_walks=60, seed=5)
+        noisy.similarity("v4", "v5", method=method)  # would perturb a stateful RNG
+        assert (
+            first.similarity("v1", "v2", method=method).score
+            == noisy.similarity("v1", "v2", method=method).score
+        )
+
+
+class TestTwoPhaseExecutor:
+    def test_exact_prefix_matches_baseline_prefix(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=5, num_walks=50, seed=7)
+        result = engine.similarity("v1", "v2", method="two_phase", exact_prefix=2)
+        exact = baseline_simrank(paper_graph, "v1", "v2", iterations=5)
+        assert (
+            result.meeting_probabilities[:3] == exact.meeting_probabilities[:3]
+        )
+
+    def test_full_prefix_equals_baseline(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=4, num_walks=10, seed=7)
+        result = engine.similarity("v1", "v2", method="two_phase", exact_prefix=4)
+        exact = baseline_simrank(paper_graph, "v1", "v2", iterations=4)
+        assert result.score == pytest.approx(exact.score, abs=1e-12)
+
+    def test_invalid_prefix_rejected(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=3, num_walks=10, seed=7)
+        with pytest.raises(InvalidParameterError, match="exact prefix"):
+            engine.similarity("v1", "v2", method="two_phase", exact_prefix=4)
+
+    def test_speedup_single_side_filter_overrides(self, paper_graph):
+        """Overriding one filter side keeps the other side's snapshot
+        default instead of crashing (regression) — and shared_filters
+        reuses the u-side for both."""
+        from repro.core.speedup import FilterVectors
+
+        engine = SimRankEngine(paper_graph, iterations=3, num_walks=64, seed=5)
+        custom = FilterVectors(paper_graph, 64, rng=3)
+        u_only = engine.similarity("v1", "v2", method="speedup", filters=custom)
+        v_only = engine.similarity("v1", "v2", method="speedup", filters_v=custom)
+        shared = engine.similarity(
+            "v1", "v2", method="speedup", shared_filters=True
+        )
+        for result in (u_only, v_only, shared):
+            assert 0.0 <= result.score <= 1.0
+        with pytest.raises(InvalidParameterError, match="same number"):
+            engine.similarity(
+                "v1",
+                "v2",
+                method="speedup",
+                filters=FilterVectors(paper_graph, 32, rng=3),
+            )
+
+    def test_speedup_self_pair_uses_independent_sides(self, paper_graph):
+        """A self-pair's two propagation sides come from independent filter
+        sets, so its meeting estimates are not degenerately 1."""
+        engine = SimRankEngine(paper_graph, iterations=4, num_walks=200, seed=7)
+        result = engine.similarity("v2", "v2", method="speedup")
+        assert result.meeting_probabilities[0] == 1.0
+        assert any(m < 1.0 for m in result.meeting_probabilities[1:])
+
+
+class TestSerialWalkSource:
+    def test_bit_identical_to_sharded_sampler(self, paper_graph):
+        """The engine-side serial source and the service-side sharded sampler
+        implement one scheme: same (seed, shard_size) -> same bundles."""
+        csr = CSRGraph.from_uncertain(paper_graph)
+        source = SerialWalkSource(seed=5, shard_size=16)
+        sampler = ShardedWalkSampler(seed=5, shard_size=16)
+        needs = [(0, False, 40), (1, False, 40), (1, True, 40)]
+        resolved = source.resolve(csr, 4, needs)
+        for vertex_index, twin, walks in needs:
+            expected = sampler.sample_bundle(csr, vertex_index, 4, walks, twin=twin)
+            assert np.array_equal(resolved[(vertex_index, twin, walks)], expected)
+            assert source.store_key(
+                vertex_index, twin, 4, walks
+            ) == sampler.store_key(vertex_index, twin, 4, walks)
+
+    def test_store_round_trip_and_duplicate_needs(self, paper_graph):
+        csr = CSRGraph.from_uncertain(paper_graph)
+        store = WalkBundleStore()
+        source = SerialWalkSource(seed=5, store=store)
+        first = source.resolve(csr, 3, [(0, False, 32), (0, False, 32)])
+        assert len(first) == 1 and len(store) == 1
+        again = source.resolve(csr, 3, [(0, False, 32)])
+        assert again[(0, False, 32)] is first[(0, False, 32)]  # served, not resampled
+
+    def test_invalid_shard_size_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            SerialWalkSource(seed=1, shard_size=0)
+
+
+class TestCSRGraphView:
+    def test_read_surface_matches_dict_graph(self, paper_graph):
+        view = CSRGraphView(CSRGraph.from_uncertain(paper_graph))
+        assert view.vertices() == paper_graph.vertices()
+        assert view.num_vertices == paper_graph.num_vertices
+        assert view.num_arcs == paper_graph.num_arcs
+        for vertex in paper_graph.vertices():
+            assert view.out_arcs(vertex) == paper_graph.out_arcs(vertex)
+            assert view.out_neighbors(vertex) == paper_graph.out_neighbors(vertex)
+        assert view.has_vertex("v1") and not view.has_vertex("ghost")
+        assert view.has_arc("v1", "v2") == paper_graph.has_arc("v1", "v2")
+
+    def test_view_pins_the_snapshot_not_the_graph(self, paper_graph):
+        """Mutating the source graph never changes what the view reads —
+        the property that makes exact methods epoch-safe."""
+        view = CSRGraphView(CSRGraph.from_uncertain(paper_graph))
+        before = dict(view.out_arcs("v1"))
+        paper_graph.add_arc("v1", "v5", 0.9)
+        assert view.out_arcs("v1") == before
+        assert not view.has_arc("v1", "v5")
+
+    def test_exact_method_on_pinned_view_ignores_later_mutations(self, paper_graph):
+        engine = SimRankEngine(paper_graph, iterations=3, seed=3)
+        snapshot = engine.snapshot()
+        executor = executor_for("baseline")(snapshot)
+        expected = baseline_simrank(paper_graph, "v1", "v2", iterations=3).score
+        paper_graph.add_arc("v5", "v1", 0.8)  # lands after the snapshot
+        pinned = executor.run_batch([("v1", "v2")])[0].score
+        assert pinned == expected
+
+
+class TestEngineCachesDeterminism:
+    def test_filter_pairs_are_pure_functions_of_seed_and_snapshot(self, paper_graph):
+        one = SimRankEngine(paper_graph, num_walks=64, seed=9)
+        two = SimRankEngine(paper_graph.copy(), num_walks=64, seed=9)
+        assert np.array_equal(one.filters.packed, two.filters.packed)
+        assert np.array_equal(one.filters_v.packed, two.filters_v.packed)
+        assert not np.array_equal(one.filters.packed, one.filters_v.packed)
+
+    def test_rebuild_really_redraws(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=64, seed=9)
+        before = engine.filters
+        rebuilt = engine.rebuild_filters()
+        assert rebuilt is not before
+        assert not np.array_equal(rebuilt.packed, before.packed)
+
+    def test_snapshot_walk_source_persists_in_bundle_store(self, paper_graph):
+        store = WalkBundleStore()
+        engine = SimRankEngine(paper_graph, num_walks=50, seed=9, bundle_store=store)
+        engine.similarity_many([("v1", "v2"), ("v2", "v3")], method="sampling")
+        misses = store.stats.misses
+        engine.similarity_many([("v1", "v2"), ("v2", "v3")], method="two_phase")
+        assert store.stats.misses == misses  # SR-TS tail reuses the same bundles

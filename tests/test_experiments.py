@@ -189,6 +189,37 @@ class TestTenancyExperiment:
         assert "full re-freeze" in text and "hit rates" in text
 
 
+class TestMethodsExperiment:
+    def test_structure_and_bit_identity(self):
+        from repro.experiments.methods import (
+            format_methods_results,
+            run_methods_experiment,
+        )
+
+        result = run_methods_experiment(
+            num_vertices=60,
+            num_edges=150,
+            num_endpoints=5,
+            iterations=3,
+            exact_prefix=1,
+            num_walks=60,
+            seed=5,
+        )
+        assert [run.method for run in result.runs] == [
+            "baseline",
+            "sampling",
+            "two_phase",
+            "speedup",
+        ]
+        for run in result.runs:
+            assert run.pairs == 10 and run.unique_endpoints == 5
+            assert run.per_pair_ms > 0.0 and run.batched_ms > 0.0
+            # The refactor's contract: batching never changes any answer.
+            assert run.bit_identical
+        text = format_methods_results(result)
+        assert "bit-identical" in text and "speedup" in text
+
+
 class TestPPICaseStudy:
     def test_structure_and_agreement(self):
         result = run_ppi_case_study(k=6, query_k=3, num_walks=120, seed=11)

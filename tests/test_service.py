@@ -376,6 +376,36 @@ class TestSimilarityService:
                 service.submit(("v1", "v2"))
 
 
+class TestGroupFailureIsolation:
+    def test_one_failing_query_does_not_fail_its_group(self, paper_graph, monkeypatch):
+        """A runtime failure inside the grouped run_batch is retried per
+        query, so only the query that caused it fails (regression)."""
+        from repro.service import service as service_module
+
+        real_executor_for = service_module.executor_for
+
+        def poisoned_executor_for(method):
+            cls = real_executor_for(method)
+
+            class Poisoned(cls):  # type: ignore[misc, valid-type]
+                def _run(self, pairs, overrides):
+                    if ("v1", "v2") in pairs:
+                        raise RuntimeError("poisoned pair")
+                    return super()._run(pairs, overrides)
+
+            return Poisoned
+
+        monkeypatch.setattr(service_module, "executor_for", poisoned_executor_for)
+        with SimilarityService(
+            paper_graph, num_walks=50, seed=1, batch_wait_seconds=0.2
+        ) as service:
+            doomed = service.submit(PairQuery("v1", "v2"))
+            fine = service.submit(PairQuery("v2", "v3"))
+            assert fine.result(timeout=30).score >= 0.0
+            with pytest.raises(RuntimeError, match="poisoned"):
+                doomed.result(timeout=30)
+
+
 class TestEngineBundleStore:
     def test_similarity_many_persists_bundles(self, paper_graph):
         store = WalkBundleStore()

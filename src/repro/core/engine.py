@@ -40,6 +40,7 @@ from repro.core.executors import (
     executor_for,
 )
 from repro.core.sampling import DEFAULT_NUM_WALKS
+from repro.core.topk_index import DEFAULT_INDEX_BUDGET_BYTES
 from repro.core.simrank import (
     DEFAULT_DECAY,
     DEFAULT_ITERATIONS,
@@ -119,9 +120,11 @@ class SimRankEngine:
         backend: str = "vectorized",
         bundle_store: "object | None" = None,
         shard_size: int = DEFAULT_SHARD_SIZE,
+        topk_index_budget_bytes: "int | None" = DEFAULT_INDEX_BUDGET_BYTES,
     ) -> None:
         self.graph = graph
         self.bundle_store = bundle_store
+        self.topk_index_budget_bytes = topk_index_budget_bytes
         self.decay = validate_decay(decay)
         self.iterations = validate_iterations(iterations)
         if num_walks < 1:
@@ -143,7 +146,12 @@ class SimRankEngine:
             # No (or a generator) seed: derive the keyed-scheme base seed
             # from the generator so the engine stays self-consistent.
             self._seed = int(self._rng.integers(2**63))
-        self._caches = EngineCaches(graph, self._graph_key(), self._seed)
+        self._caches = EngineCaches(
+            graph,
+            self._graph_key(),
+            self._seed,
+            topk_index_budget_bytes=topk_index_budget_bytes,
+        )
 
     # -- shared state --------------------------------------------------------
 
@@ -165,7 +173,12 @@ class SimRankEngine:
         snapshots) keep a consistent view of the retired version.
         """
         if self._caches.key != self._graph_key():
-            self._caches = EngineCaches(self.graph, self._graph_key(), self._seed)
+            self._caches = EngineCaches(
+                self.graph,
+                self._graph_key(),
+                self._seed,
+                topk_index_budget_bytes=self.topk_index_budget_bytes,
+            )
         return self._caches
 
     @property
@@ -264,8 +277,17 @@ class SimRankEngine:
         filters do), and because the sampled stages are keyed, batching never
         changes any individual answer.
         """
-        executor = executor_for(method)(self.snapshot(), rng=self._rng)
+        executor = self.batch_executor(method)
         return executor.run_batch(list(pairs), dict(overrides))
+
+    def batch_executor(self, method: str = "two_phase"):
+        """A method executor bound to a fresh snapshot of this engine.
+
+        Useful for callers that score several batches against one pinned
+        snapshot and want shared prefix work to accumulate across them —
+        the access pattern of the index-pruned top-k helpers.
+        """
+        return executor_for(method)(self.snapshot(), rng=self._rng)
 
     def similarity_matrix(
         self, order: Sequence[Vertex] | None = None, **overrides: object

@@ -59,6 +59,7 @@ rejected with a clear error instead of being silently ignored.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import (
     ClassVar,
@@ -96,6 +97,7 @@ from repro.core.speedup import (
     packed_meeting_probabilities,
     propagate_packed_tables,
 )
+from repro.core.topk_index import DEFAULT_INDEX_BUDGET_BYTES, TopKIndexStore
 from repro.core.transition import single_source_transition_probabilities
 from repro.core.two_phase import DEFAULT_EXACT_PREFIX, two_phase_simrank
 from repro.core.walks import AlphaCache
@@ -119,6 +121,87 @@ BundleNeed = Tuple[int, bool, int]
 #: use 4-component keys ``(_FILTER_STREAM, side, num_walks, rebuild)``, so
 #: the two families can never collide.
 _FILTER_STREAM = 2
+
+#: Default budget of the cross-batch transition cache, measured in stored
+#: distribution entries (vertex → probability pairs), not bytes: the dicts
+#: the exact walk extension returns have no cheap byte size, but their entry
+#: count tracks their footprint closely.
+DEFAULT_TRANSITION_CACHE_STATES = 250_000
+
+
+class TransitionCache:
+    """Cross-batch LRU for exact single-source transition distributions.
+
+    Executors keep a batch-local distribution dict so one batch never
+    recomputes an endpoint; this cache extends that sharing *across*
+    batches (and across the read pool's executors) at one snapshot — the
+    access pattern of the index's exact re-scoring phase, where successive
+    pruned chunks keep hitting the same query endpoint.  Entries are the
+    immutable lists :func:`single_source_transition_probabilities` returns;
+    the budget counts stored distribution entries and evicts least recently
+    used endpoints, mirroring the walk-bundle store's discipline.
+    """
+
+    def __init__(self, max_states: int = DEFAULT_TRANSITION_CACHE_STATES):
+        if max_states <= 0:
+            raise InvalidParameterError(
+                f"transition cache budget must be positive, got {max_states}"
+            )
+        self.max_states = int(max_states)
+        self._entries: "OrderedDict[tuple, Tuple[List[Dict[Vertex, float]], int]]" = (
+            OrderedDict()
+        )
+        self._states = 0
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def get(self, key: tuple) -> "List[Dict[Vertex, float]] | None":
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return entry[0]
+
+    def put(self, key: tuple, distributions: "List[Dict[Vertex, float]]") -> None:
+        size = sum(len(level) for level in distributions) + 1
+        with self._lock:
+            previous = self._entries.pop(key, None)
+            if previous is not None:
+                self._states -= previous[1]
+            if size > self.max_states:
+                self.evictions += 1
+                return
+            self._entries[key] = (distributions, size)
+            self._states += size
+            while self._states > self.max_states:
+                _, (_, dropped) = self._entries.popitem(last=False)
+                self._states -= dropped
+                self.evictions += 1
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._states = 0
+
+    def stats(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "states": self._states,
+                "max_states": self.max_states,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
 
 
 class EngineCaches:
@@ -151,6 +234,8 @@ class EngineCaches:
         key: Tuple[object, ...],
         seed: int,
         csr: Optional[CSRGraph] = None,
+        topk_index_budget_bytes: Optional[int] = DEFAULT_INDEX_BUDGET_BYTES,
+        transition_cache_states: int = DEFAULT_TRANSITION_CACHE_STATES,
     ) -> None:
         self.key = key
         self._graph = graph
@@ -158,6 +243,10 @@ class EngineCaches:
         self.csr = csr if csr is not None else CSRGraph.from_uncertain(graph)
         self.view = CSRGraphView(self.csr)
         self.alpha_cache = AlphaCache(self.view)
+        # Snapshot-scoped like everything else here: replaced wholesale when
+        # the graph moves on, so epoch retirement invalidates both for free.
+        self.topk_indexes = TopKIndexStore(topk_index_budget_bytes)
+        self.transitions = TransitionCache(transition_cache_states)
         self._filter_pairs: Dict[int, Tuple[FilterVectors, FilterVectors]] = {}
         self._rebuilds: Dict[int, int] = {}
         self._lock = threading.Lock()
@@ -479,13 +568,22 @@ class MethodExecutor:
             key = (endpoint, steps, max_states)
             distributions = self._distributions.get(key)
             if distributions is None:
-                distributions = single_source_transition_probabilities(
-                    caches.view,
-                    endpoint,
-                    steps,
-                    max_states=max_states,
-                    alpha_cache=caches.alpha_cache,
-                )
+                # Batch-local miss: consult the snapshot's cross-batch LRU
+                # before paying for a walk-extension run.  Entries are
+                # shared read-only, so handing out the same list to many
+                # executors is safe.
+                shared = getattr(caches, "transitions", None)
+                distributions = shared.get(key) if shared is not None else None
+                if distributions is None:
+                    distributions = single_source_transition_probabilities(
+                        caches.view,
+                        endpoint,
+                        steps,
+                        max_states=max_states,
+                        alpha_cache=caches.alpha_cache,
+                    )
+                    if shared is not None:
+                        shared.put(key, distributions)
                 self._distributions[key] = distributions
             out[endpoint] = distributions
         return out

@@ -1,0 +1,672 @@
+"""Epoch-scoped walk-fingerprint index for pruned top-k queries.
+
+Both case studies of the paper are top-k queries, yet the plain helpers in
+:mod:`repro.core.topk` score *every* candidate through the full estimator.
+This module precomputes, per pinned snapshot, a compact per-vertex summary
+that yields a provable upper bound ``ub(u, v) >= sim(u, v)`` for each
+method's estimator, so a top-k query can
+
+1. compute bounds for all candidates vectorized, sort them descending, and
+2. exact-rescore candidates in bound order through the regular
+   :class:`~repro.core.executors.MethodExecutor`, stopping as soon as the
+   next bound falls strictly below the current k-th best score.
+
+Because pruning only ever discards candidates whose *bound* is strictly
+below the k-th best *exact* score — and ties are rescored — the pruned
+ranking is bit-identical to the full scan under the
+:func:`~repro.core.topk.rank_top_k` tie-breaking rule.
+
+Bound derivations
+-----------------
+
+Write ``m(k)`` for the k-step meeting probability of a pair, ``n`` for the
+iteration count, ``c`` for the decay and ``w_k`` for the SimRank weight of
+step ``k`` (``(1-c)·c^k`` for ``k < n``, ``c^n`` for ``k = n``; note
+``Σ_{k=1}^{n} w_k = c`` and ``m(0) = 0`` for distinct vertices).
+
+* **Survival bound** (exact estimators).  A walk that meets at step
+  ``k >= 1`` must in particular have survived its first step, so
+  ``m(k) <= s(u)·s(v)`` with ``s(u) = 1 - Π_j (1 - p_j)`` over the
+  out-arcs of ``u``.  No per-step recurrence is attempted: the paper's
+  walks are non-Markovian (a revisited vertex keeps its instantiated
+  arcs), which breaks step-wise survival products.
+* **One-step bound** (exact estimators, single-query form).  The exact
+  one-step distribution is ``P1(u, w) = α(u, {w}, 1)`` (Lemma 1), so
+  ``m(1) = Σ_w P1(u, w)·P1(v, w)`` can be computed exactly and vectorized
+  against a whole candidate column, replacing the loose ``s(u)·s(v)``
+  factor for the heavy ``k = 1`` term.
+* **Sketch bound** (sampled estimators).  The sampled estimator counts,
+  per step, walk slots where both endpoint bundles are alive on the same
+  vertex.  The index stores one 16-bit lane per (walk, step): ``0`` when
+  the walk is dead, else ``1 + splitmix64(vertex) mod 65535``.  Equal
+  vertices hash equally, so the SWAR matched-lane count over the packed
+  uint64 words is ``>=`` the exact matched count — an upper bound on the
+  estimator itself, computed from the *same* keyed bundles the estimator
+  will use.  The 1/65535 collision rate keeps the bound's noise floor
+  (``Σ_k w_k · alive²/65535``) far below realistic k-th best scores, which
+  is what makes the prune ratio high enough to beat the scan.
+* **Speedup tail**.  SR-SP's tail uses filter-vector propagation, not the
+  walk bundles, so only the trivial per-step bound ``m̂(k) <= 1`` applies:
+  the tail is bounded by ``Σ_{k=l+1}^{n} w_k = c^{l+1}``.  This makes the
+  speedup bound weak by construction; pruning still preserves exactness.
+
+All float-valued bound components carry a small additive slack so that
+summation-order differences against the estimator can never flip a
+``ub >= score`` relation into a false prune.
+"""
+
+from __future__ import annotations
+
+import heapq
+import threading
+import time
+from collections import OrderedDict
+from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.batch_walks import NO_VERTEX, _splitmix64
+from repro.utils.errors import InvalidParameterError
+
+Vertex = Hashable
+
+#: Default byte budget for one snapshot's index artifacts (sketches dominate).
+DEFAULT_INDEX_BUDGET_BYTES = 128 * 1024 * 1024
+
+#: Vertices sketched per sampling call while building (bounds peak memory and
+#: keeps the walk-bundle LRU stores untouched — the builder samples directly).
+SKETCH_CHUNK_VERTICES = 256
+
+#: Additive slack on float bound components; protects strict-inequality
+#: pruning against summation-order rounding, costing only near-tie rescores.
+BOUND_SLACK = 1e-9
+
+_LOW15 = np.uint64(0x7FFF7FFF7FFF7FFF)
+_HIGH = np.uint64(0x8000800080008000)
+_LANES_PER_WORD = 4  # uint16 lanes packed per uint64 word
+
+_SKETCHED_METHODS = ("sampling", "two_phase")
+
+if hasattr(np, "bitwise_count"):
+
+    def _popcount(words: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(words)
+
+else:  # pragma: no cover - exercised only on older numpy
+    _POPCOUNT_TABLE = np.array(
+        [bin(value).count("1") for value in range(256)], dtype=np.uint8
+    )
+
+    def _popcount(words: np.ndarray) -> np.ndarray:
+        as_bytes = words.view(np.uint8).reshape(words.shape + (8,))
+        return _POPCOUNT_TABLE[as_bytes].sum(axis=-1, dtype=np.int64)
+
+
+def _zero_lane_flags(words: np.ndarray) -> np.ndarray:
+    """High bit of every 16-bit lane that is exactly zero (exact SWAR).
+
+    ``(w & 0x7FFF) + 0x7FFF`` sets a lane's high bit iff its low fifteen
+    bits are non-zero and never carries across lanes; OR-ing ``w`` itself
+    folds in the original high bit, so the complement's high bit survives
+    only for lanes equal to zero.
+    """
+    return ~(((words & _LOW15) + _LOW15) | words | _LOW15)
+
+
+def step_weights(decay: float, iterations: int) -> np.ndarray:
+    """SimRank weight of each step ``k = 1 … n`` (position ``k - 1``).
+
+    ``score = Σ_{k=0}^{n-1} (1-c)·c^k·m(k) + c^n·m(n)`` with ``m(0) = 0``
+    for distinct pairs, so only steps ``1 … n`` carry weight.
+    """
+    weights = [(1.0 - decay) * decay**k for k in range(1, iterations)]
+    weights.append(decay**iterations)
+    return np.asarray(weights, dtype=float)
+
+
+def survival_masses(csr) -> np.ndarray:
+    """Per-vertex probability of surviving the first step, with slack.
+
+    ``s(u) = 1 - Π_j (1 - p_j)`` over the out-arcs of ``u``; computed as a
+    cumulative-sum difference over ``log1p(-p)`` so empty rows cost nothing
+    (``np.add.reduceat`` misbehaves on empty segments).  Rows holding a
+    certain arc (``p >= 1``) are forced to 1 before the log would diverge.
+    """
+    probs = np.clip(np.asarray(csr.probs, dtype=float), 0.0, 1.0)
+    certain = probs >= 1.0
+    safe = np.where(certain, 0.0, probs)
+    log_miss = np.log1p(-safe)
+    cumulative = np.concatenate(([0.0], np.cumsum(log_miss)))
+    row_log = cumulative[csr.indptr[1:]] - cumulative[csr.indptr[:-1]]
+    certain_cumulative = np.concatenate(([0], np.cumsum(certain.astype(np.int64))))
+    has_certain = (certain_cumulative[csr.indptr[1:]] - certain_cumulative[csr.indptr[:-1]]) > 0
+    survival = 1.0 - np.exp(row_log)
+    survival[has_certain] = 1.0
+    return np.minimum(survival + BOUND_SLACK, 1.0)
+
+
+def one_step_arc_probabilities(csr, view, alpha_cache) -> np.ndarray:
+    """Exact one-step transition probability of every arc, in CSR arc order.
+
+    ``P1(u, w) = α(u, {w}, 1)`` — the same value the exact walk extension
+    assigns, so bounds built from it dominate the exact ``m(1)`` term.
+    """
+    values = np.zeros(csr.num_arcs, dtype=float)
+    indptr = csr.indptr
+    indices = csr.indices
+    for position in range(csr.num_vertices):
+        start, stop = int(indptr[position]), int(indptr[position + 1])
+        if start == stop:
+            continue
+        source = csr.vertex_at(position)
+        for arc in range(start, stop):
+            target = csr.vertex_at(int(indices[arc]))
+            values[arc] = alpha_cache.value(source, frozenset((target,)), 1)
+    return values
+
+
+class VertexSketches:
+    """Packed per-vertex walk fingerprints for one ``(num_walks, length)``.
+
+    ``words[u, k - 1]`` holds one 16-bit lane per walk of endpoint ``u`` at
+    step ``k``: 0 for a dead walk, else a non-zero hash of the occupied
+    vertex, packed 4 lanes per uint64 word (zero-padded past ``num_walks``).
+    """
+
+    __slots__ = ("words", "num_walks", "length")
+
+    def __init__(self, words: np.ndarray, num_walks: int, length: int):
+        self.words = words
+        self.num_walks = num_walks
+        self.length = length
+
+    @property
+    def nbytes(self) -> int:
+        return int(self.words.nbytes)
+
+    def matched_counts(self, query_index: int, candidate_indices: np.ndarray) -> np.ndarray:
+        """``counts[i, k-1] >=`` exact step-k matched walks of (query, cand i)."""
+        query = self.words[query_index]
+        return self._counts(query[np.newaxis, :, :], self.words[candidate_indices])
+
+    def matched_counts_pairs(
+        self, u_indices: np.ndarray, v_indices: np.ndarray
+    ) -> np.ndarray:
+        """Per-pair matched-walk counts; rows align with the pair arrays."""
+        return self._counts(self.words[u_indices], self.words[v_indices])
+
+    @staticmethod
+    def _counts(left: np.ndarray, right: np.ndarray) -> np.ndarray:
+        xor = left ^ right
+        both_equal = _zero_lane_flags(xor)
+        left_alive = ~_zero_lane_flags(left) & _HIGH
+        matched = both_equal & left_alive
+        return _popcount(matched).sum(axis=2, dtype=np.int64)
+
+
+def sketch_walk_matrices(matrices: np.ndarray, num_walks: int) -> np.ndarray:
+    """Encode stacked walk matrices ``(B, num_walks, length + 1)`` to words.
+
+    Column 0 (the source vertex) carries no step weight and is dropped.
+    Dead slots (:data:`NO_VERTEX`) encode to lane 0; alive slots to
+    ``1 + splitmix64(vertex) mod 65535`` so equal vertices always collide
+    and the matched count can only overcount.
+    """
+    steps = matrices[:, :, 1:]
+    hashed = _splitmix64(steps.astype(np.int64).view(np.uint64))
+    encoded = np.where(
+        steps == NO_VERTEX, 0, hashed % np.uint64(65535) + np.uint64(1)
+    )
+    encoded = encoded.astype(np.uint16)
+    padded_walks = (
+        (num_walks + _LANES_PER_WORD - 1) // _LANES_PER_WORD
+    ) * _LANES_PER_WORD
+    bundle_count, _, length = encoded.shape
+    padded = np.zeros((bundle_count, length, padded_walks), dtype=np.uint16)
+    padded[:, :, :num_walks] = encoded.transpose(0, 2, 1)
+    return padded.view(np.uint64)
+
+
+def build_sketches(
+    csr,
+    walk_source,
+    num_walks: int,
+    length: int,
+    chunk_vertices: int = SKETCH_CHUNK_VERTICES,
+) -> VertexSketches:
+    """Sketch every vertex of the snapshot from its keyed walk bundles.
+
+    Bundles are sampled directly (bypassing the bundle LRU store) in vertex
+    chunks so building the index neither evicts hot query bundles nor holds
+    more than one chunk of raw walks in memory.
+    """
+    vertex_count = csr.num_vertices
+    padded_words = (num_walks + _LANES_PER_WORD - 1) // _LANES_PER_WORD
+    words = np.zeros((vertex_count, length, padded_words), dtype=np.uint64)
+    for start in range(0, vertex_count, chunk_vertices):
+        stop = min(start + chunk_vertices, vertex_count)
+        requests = [(position, False) for position in range(start, stop)]
+        bundles = walk_source._sample(csr, requests, length, num_walks)
+        stacked = np.stack([bundles[(position, False)] for position in range(start, stop)])
+        words[start:stop] = sketch_walk_matrices(stacked, num_walks)
+    return VertexSketches(words, num_walks, length)
+
+
+class TopKIndexStore:
+    """Byte-budgeted LRU over one snapshot's index artifacts.
+
+    Mirrors :class:`~repro.service.bundle_store.WalkBundleStore`: entries
+    are keyed artifacts with a known byte size, least-recently-used entries
+    are evicted once the budget is exceeded, and an artifact larger than
+    the whole budget is refused (callers then fall back to the scan).  The
+    store lives on :class:`~repro.core.executors.EngineCaches`, so epoch
+    retirement drops it wholesale — no cross-epoch invalidation protocol.
+    """
+
+    def __init__(self, budget_bytes: Optional[int] = DEFAULT_INDEX_BUDGET_BYTES):
+        if budget_bytes is not None and budget_bytes <= 0:
+            raise InvalidParameterError(
+                f"index budget must be positive or None, got {budget_bytes}"
+            )
+        self.budget_bytes = budget_bytes
+        self._entries: "OrderedDict[tuple, Tuple[object, int]]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.build_ms_total = 0.0
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    @property
+    def bytes_used(self) -> int:
+        with self._lock:
+            return self._bytes
+
+    def get_or_build(
+        self, key: tuple, build: Callable[[], object], size_of: Callable[[object], int]
+    ) -> Tuple[Optional[object], float]:
+        """Return ``(artifact, build_ms)``; ``(None, ms)`` if over budget.
+
+        The build runs under the store lock: concurrent readers of the same
+        snapshot then share one build instead of racing duplicates.
+        """
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                return entry[0], 0.0
+            self.misses += 1
+            started = time.perf_counter()
+            artifact = build()
+            build_ms = (time.perf_counter() - started) * 1000.0
+            self.build_ms_total += build_ms
+            size = int(size_of(artifact))
+            if self.budget_bytes is not None and size > self.budget_bytes:
+                self.evictions += 1
+                return None, build_ms
+            self._entries[key] = (artifact, size)
+            self._bytes += size
+            if self.budget_bytes is not None:
+                while self._bytes > self.budget_bytes:
+                    _, (_, dropped) = self._entries.popitem(last=False)
+                    self._bytes -= dropped
+                    self.evictions += 1
+            return artifact, build_ms
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._bytes = 0
+
+    def stats(self) -> Dict[str, object]:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "budget_bytes": self.budget_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "build_ms_total": self.build_ms_total,
+            }
+
+
+class TopKIndex:
+    """Per-snapshot bound oracle for one ``(method, num_walks, prefix)``.
+
+    A thin combiner over shared artifacts (survival masses, one-step arc
+    probabilities, walk sketches); construction is cheap, the artifacts are
+    cached in the snapshot's :class:`TopKIndexStore`.
+    """
+
+    def __init__(
+        self,
+        method: str,
+        csr,
+        decay: float,
+        iterations: int,
+        exact_prefix: int,
+        survival: np.ndarray,
+        sketches: Optional[VertexSketches] = None,
+        alpha_probs: Optional[np.ndarray] = None,
+        build_ms: float = 0.0,
+        cache_hit: bool = True,
+    ):
+        self.method = method
+        self.csr = csr
+        self.decay = decay
+        self.iterations = iterations
+        self.exact_prefix = exact_prefix
+        self.survival = survival
+        self.sketches = sketches
+        self.alpha_probs = alpha_probs
+        self.build_ms = build_ms
+        self.cache_hit = cache_hit
+
+        weights = step_weights(decay, iterations)
+        if method == "sampling":
+            exact_last = 0
+        elif method == "baseline":
+            exact_last = iterations
+        else:
+            exact_last = min(exact_prefix, iterations)
+        self._exact_one_weight = weights[0] if exact_last >= 1 else 0.0
+        self._exact_rest_weight = float(weights[1:exact_last].sum())
+        if method in _SKETCHED_METHODS:
+            self._sketch_slice = slice(exact_last, iterations)
+            self._sketch_weights = weights[self._sketch_slice]
+            self._tail_constant = 0.0
+            if self._sketch_weights.size and sketches is None:
+                raise InvalidParameterError(
+                    f"method {method!r} needs walk sketches for steps past {exact_last}"
+                )
+        else:
+            self._sketch_slice = slice(0, 0)
+            self._sketch_weights = weights[0:0]
+            self._tail_constant = (
+                float(decay ** (exact_last + 1)) if exact_last < iterations else 0.0
+            )
+
+    @property
+    def num_walks(self) -> Optional[int]:
+        return self.sketches.num_walks if self.sketches is not None else None
+
+    def _one_step_row(self, query_index: int) -> np.ndarray:
+        """Exact ``m(1)(query, v)`` for every vertex ``v``, one O(arcs) pass."""
+        csr = self.csr
+        dense = np.zeros(csr.num_vertices, dtype=float)
+        start, stop = int(csr.indptr[query_index]), int(csr.indptr[query_index + 1])
+        dense[csr.indices[start:stop]] = self.alpha_probs[start:stop]
+        contributions = self.alpha_probs * dense[csr.indices]
+        cumulative = np.concatenate(([0.0], np.cumsum(contributions)))
+        return cumulative[csr.indptr[1:]] - cumulative[csr.indptr[:-1]]
+
+    def bounds_for_vertex(
+        self, query_index: int, candidate_indices: np.ndarray
+    ) -> np.ndarray:
+        """Upper bounds for ``(query, candidate)`` pairs, candidate-aligned.
+
+        Self pairs get ``+inf`` — their estimator uses twin bundles the
+        sketch does not cover, so they are always rescored exactly.
+        """
+        candidate_indices = np.asarray(candidate_indices, dtype=np.int64)
+        bounds = np.full(len(candidate_indices), self._tail_constant, dtype=float)
+        survival_product = (
+            self.survival[query_index] * self.survival[candidate_indices]
+        )
+        if self._exact_one_weight:
+            if self.alpha_probs is not None:
+                one_step = self._one_step_row(query_index)[candidate_indices]
+                bounds += self._exact_one_weight * (one_step + BOUND_SLACK)
+            else:
+                bounds += self._exact_one_weight * survival_product
+        bounds += self._exact_rest_weight * survival_product
+        if self.sketches is not None and self._sketch_weights.size:
+            counts = self.sketches.matched_counts(query_index, candidate_indices)
+            bounds += (
+                counts[:, self._sketch_slice] @ self._sketch_weights
+            ) / self.sketches.num_walks
+        bounds += BOUND_SLACK
+        bounds[candidate_indices == query_index] = np.inf
+        return bounds
+
+    def bounds_for_pairs(
+        self, u_indices: np.ndarray, v_indices: np.ndarray, chunk_size: int = 2048
+    ) -> np.ndarray:
+        """Upper bounds for arbitrary pairs (pair-aligned, self pairs inf).
+
+        The exact ``k = 1`` term falls back to the survival product here:
+        pair lists have no shared query vertex to amortize the one-step row
+        against, and the bound stays valid, just looser.
+        """
+        u_indices = np.asarray(u_indices, dtype=np.int64)
+        v_indices = np.asarray(v_indices, dtype=np.int64)
+        survival_product = self.survival[u_indices] * self.survival[v_indices]
+        bounds = (
+            self._tail_constant
+            + (self._exact_one_weight + self._exact_rest_weight) * survival_product
+        )
+        if self.sketches is not None and self._sketch_weights.size:
+            sketch_part = np.empty(len(u_indices), dtype=float)
+            for start in range(0, len(u_indices), chunk_size):
+                stop = min(start + chunk_size, len(u_indices))
+                counts = self.sketches.matched_counts_pairs(
+                    u_indices[start:stop], v_indices[start:stop]
+                )
+                sketch_part[start:stop] = (
+                    counts[:, self._sketch_slice] @ self._sketch_weights
+                )
+            bounds = bounds + sketch_part / self.sketches.num_walks
+        bounds = bounds + BOUND_SLACK
+        bounds[u_indices == v_indices] = np.inf
+        return bounds
+
+
+def snapshot_index(
+    snapshot,
+    method: str,
+    num_walks: Optional[int] = None,
+    exact_prefix: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> Optional[TopKIndex]:
+    """The lazily built index of a pinned snapshot, or ``None`` if unusable.
+
+    ``None`` means "fall back to the scan": the snapshot's caches carry no
+    index store, a required artifact exceeds the byte budget, or the
+    effective backend is ``python`` for a sketched method (the python
+    sampler is not the keyed estimator the sketches bound).
+    """
+    store: Optional[TopKIndexStore] = getattr(snapshot.caches, "topk_indexes", None)
+    if store is None:
+        return None
+    effective_backend = backend if backend is not None else snapshot.backend
+    prefix = exact_prefix if exact_prefix is not None else snapshot.exact_prefix
+    iterations = snapshot.iterations
+    csr = snapshot.csr
+    build_ms = 0.0
+
+    survival, elapsed = store.get_or_build(
+        ("survival",), lambda: survival_masses(csr), lambda artifact: artifact.nbytes
+    )
+    build_ms += elapsed
+    if survival is None:
+        return None
+
+    sketches = None
+    needs_sketch = method == "sampling" or (
+        method == "two_phase" and min(prefix, iterations) < iterations
+    )
+    if needs_sketch:
+        if snapshot.walks is None or effective_backend != "vectorized":
+            return None
+        walks = num_walks if num_walks is not None else snapshot.num_walks
+        sketches, elapsed = store.get_or_build(
+            ("sketch", walks, iterations),
+            lambda: build_sketches(csr, snapshot.walks, walks, iterations),
+            lambda artifact: artifact.nbytes,
+        )
+        build_ms += elapsed
+        if sketches is None:
+            return None
+
+    alpha_probs = None
+    if method in ("baseline", "two_phase", "speedup") and (
+        method == "baseline" or min(prefix, iterations) >= 1
+    ):
+        caches = snapshot.caches
+        alpha_probs, elapsed = store.get_or_build(
+            ("alpha",),
+            lambda: one_step_arc_probabilities(csr, caches.view, caches.alpha_cache),
+            lambda artifact: artifact.nbytes,
+        )
+        build_ms += elapsed
+        # Over budget is survivable here: the survival product still bounds
+        # the k = 1 term, the index is merely looser.
+
+    return TopKIndex(
+        method=method,
+        csr=csr,
+        decay=snapshot.decay,
+        iterations=iterations,
+        exact_prefix=prefix,
+        survival=survival,
+        sketches=sketches,
+        alpha_probs=alpha_probs,
+        build_ms=build_ms,
+        cache_hit=build_ms == 0.0,
+    )
+
+
+class PruneStats:
+    """Counters of one pruned query, surfaced in responses and stats."""
+
+    __slots__ = ("candidates_total", "candidates_rescored", "index_build_ms")
+
+    def __init__(
+        self,
+        candidates_total: int = 0,
+        candidates_rescored: int = 0,
+        index_build_ms: float = 0.0,
+    ):
+        self.candidates_total = candidates_total
+        self.candidates_rescored = candidates_rescored
+        self.index_build_ms = index_build_ms
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "candidates_total": self.candidates_total,
+            "candidates_rescored": self.candidates_rescored,
+            "index_build_ms": self.index_build_ms,
+        }
+
+
+def pruned_rank(
+    executor,
+    pairs: Sequence[Tuple[Vertex, Vertex]],
+    bounds: np.ndarray,
+    k: int,
+    overrides: Optional[Dict[str, object]] = None,
+    rescore_chunk: Optional[int] = None,
+) -> Tuple[List[Tuple[int, object]], int]:
+    """Rank the top ``k`` of ``pairs`` by exact score, pruning on bounds.
+
+    Returns ``(ranked, rescored)`` where ``ranked`` is a list of
+    ``(position, SimilarityResult)`` identical — positions, scores and tie
+    order — to ``rank_top_k(k, scores_of_all_pairs)``, and ``rescored``
+    counts pairs actually pushed through the executor.
+
+    Candidates are processed in bound-descending order; once ``k`` scores
+    are held, candidates whose bound is *strictly* below the current k-th
+    best score can never enter the result (their exact score is at most
+    the bound), and equal-bound candidates are still rescored, so exact
+    ties keep their submission-order ranking.
+    """
+    if k <= 0:
+        raise InvalidParameterError(f"k must be positive, got {k}")
+    total = len(pairs)
+    if total == 0:
+        return [], 0
+    order = np.argsort(-bounds, kind="stable")
+    chunk = rescore_chunk if rescore_chunk else max(32, 2 * k)
+    heap: List[Tuple[float, int]] = []
+    results: Dict[int, object] = {}
+    rescored = 0
+    position = 0
+    overrides = dict(overrides or {})
+    while position < total:
+        batch = order[position : position + chunk]
+        exhausted = False
+        if len(heap) >= k:
+            kth = heap[0][0]
+            batch_bounds = bounds[batch]
+            keep = int(np.searchsorted(-batch_bounds, -kth, side="right"))
+            if keep < len(batch):
+                batch = batch[:keep]
+                exhausted = True
+            if len(batch) == 0:
+                break
+        scored = executor.run_batch([pairs[int(p)] for p in batch], dict(overrides))
+        for pair_position, result in zip(batch, scored):
+            rescored += 1
+            item = (result.score, -int(pair_position))
+            if len(heap) < k:
+                heapq.heappush(heap, item)
+                results[int(pair_position)] = result
+            elif item > heap[0]:
+                _, evicted = heapq.heappushpop(heap, item)
+                results.pop(-evicted, None)
+                results[int(pair_position)] = result
+        if exhausted:
+            break
+        position += chunk
+    ranked = sorted(heap, reverse=True)
+    return [(-negated, results[-negated]) for _, negated in ranked], rescored
+
+
+def pruned_top_k_vertex(
+    executor,
+    index: TopKIndex,
+    query: Vertex,
+    candidates: Sequence[Vertex],
+    k: int,
+    overrides: Optional[Dict[str, object]] = None,
+) -> Tuple[List[Tuple[Vertex, object]], PruneStats]:
+    """Top-k most similar candidates to ``query``, pruned then rescored."""
+    csr = index.csr
+    query_index = csr.index_of(query)
+    candidate_indices = np.fromiter(
+        (csr.index_of(candidate) for candidate in candidates),
+        dtype=np.int64,
+        count=len(candidates),
+    )
+    bounds = index.bounds_for_vertex(query_index, candidate_indices)
+    pairs = [(query, candidate) for candidate in candidates]
+    ranked, rescored = pruned_rank(executor, pairs, bounds, k, overrides)
+    stats = PruneStats(len(candidates), rescored, index.build_ms)
+    return [(candidates[position], result) for position, result in ranked], stats
+
+
+def pruned_top_k_pairs(
+    executor,
+    index: TopKIndex,
+    pairs: Sequence[Tuple[Vertex, Vertex]],
+    k: int,
+    overrides: Optional[Dict[str, object]] = None,
+) -> Tuple[List[Tuple[Tuple[Vertex, Vertex], object]], PruneStats]:
+    """Top-k highest scoring of ``pairs``, pruned then rescored."""
+    csr = index.csr
+    u_indices = np.fromiter(
+        (csr.index_of(u) for u, _ in pairs), dtype=np.int64, count=len(pairs)
+    )
+    v_indices = np.fromiter(
+        (csr.index_of(v) for _, v in pairs), dtype=np.int64, count=len(pairs)
+    )
+    bounds = index.bounds_for_pairs(u_indices, v_indices)
+    ranked, rescored = pruned_rank(executor, pairs, bounds, k, overrides)
+    stats = PruneStats(len(pairs), rescored, index.build_ms)
+    return [(pairs[position], result) for position, result in ranked], stats

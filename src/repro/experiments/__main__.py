@@ -6,9 +6,9 @@ Usage::
 
 where ``<experiment>`` is one of ``datasets``, ``measures``, ``convergence``,
 ``efficiency``, ``accuracy``, ``param-n``, ``scalability``, ``service``,
-``tenancy``, ``epoch``, ``methods``, ``case-ppi``, ``case-er`` or ``all``.  ``--quick`` shrinks the
-workload (fewer pairs, smaller sample sizes) so a full pass finishes in a
-couple of minutes.
+``tenancy``, ``epoch``, ``methods``, ``topk_index``, ``case-ppi``,
+``case-er`` or ``all``.  ``--quick`` shrinks the workload (fewer pairs,
+smaller sample sizes) so a full pass finishes in a couple of minutes.
 """
 
 from __future__ import annotations
@@ -42,6 +42,10 @@ from repro.experiments.scalability import (
     run_service_topk_experiment,
 )
 from repro.experiments.tenancy import format_tenancy_results, run_tenancy_experiment
+from repro.experiments.topk_index import (
+    format_topk_index_results,
+    run_topk_index_experiment,
+)
 
 
 def _run_datasets(quick: bool) -> str:
@@ -140,6 +144,15 @@ def _run_tenancy(quick: bool) -> str:
     return format_tenancy_results(result)
 
 
+def _run_topk_index(quick: bool) -> str:
+    results = run_topk_index_experiment(
+        edge_counts=(1500,) if quick else (1500, 4500, 7500),
+        num_queries=2 if quick else 3,
+        num_walks=200 if quick else 400,
+    )
+    return format_topk_index_results(results)
+
+
 def _run_case_ppi(quick: bool) -> str:
     result = run_ppi_case_study(k=10 if quick else 20, num_walks=200 if quick else 400)
     return format_ppi_case_study(result)
@@ -171,6 +184,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "tenancy": _run_tenancy,
     "epoch": _run_epoch,
     "methods": _run_methods,
+    "topk_index": _run_topk_index,
     "case-ppi": _run_case_ppi,
     "case-er": _run_case_er,
 }

@@ -10,8 +10,11 @@ that coordination with the classic epoch scheme of read-optimized stores
 * :class:`~repro.core.executors.EngineSnapshot` (defined with the method
   executors, re-exported here) — one immutable, self-sufficient read view of
   a tenant: the pinned :class:`~repro.graph.csr.CSRGraph`, the engine's
-  snapshot-scoped caches (α cache + SR-SP filter vectors + pinned CSR view,
-  see :class:`~repro.core.executors.EngineCaches`), the engine parameters, a
+  snapshot-scoped caches (α cache + SR-SP filter vectors + pinned CSR view +
+  the epoch-scoped top-k index store and cross-batch transition cache,
+  see :class:`~repro.core.executors.EngineCaches` — top-k index artifacts
+  live and die with the snapshot's cache bundle, so epoch retirement
+  invalidates them for free), the engine parameters, a
   *versioned read view* of the tenant's
   :class:`~repro.service.bundle_store.WalkBundleStore`
   (:class:`VersionedStoreView`) that can never serve or retain a bundle

@@ -23,6 +23,10 @@ Every query response — ``pair``, ``top_k``, ``top_k_pairs``, for every
 method — carries the ``epoch`` and ``graph_version`` the answer was pinned
 to: under concurrent ingest (``--read-workers`` > 1 with mutations in
 flight) this names the exact graph state the scores are bit-identical to.
+Top-k answers served through the epoch-scoped walk-fingerprint index
+additionally carry ``candidates_total`` / ``candidates_rescored`` (both
+deterministic; disable the index with ``--no-topk-index`` for the bare
+pre-index response shape — the rankings are identical either way).
 
 Control requests::
 
@@ -166,11 +170,24 @@ def _render_response(record: dict, query, outcome) -> dict:
 
 
 def _attach_epoch(response: dict, outcome) -> None:
-    """Surface the epoch provenance a TopKResult carries (if any)."""
+    """Surface the epoch provenance a TopKResult carries (if any).
+
+    Index-pruned answers also carry ``candidates_total`` /
+    ``candidates_rescored`` — deterministic counts (prune decisions depend
+    only on the keyed walks and the candidate set), so they are safe in the
+    pinned response stream.  ``index_build_ms`` is a timing and is
+    deliberately *not* surfaced here; read it from ``service_stats``.
+    """
     epoch = getattr(outcome, "epoch", None)
     if epoch:
         response.update(
             epoch=epoch, graph_version=getattr(outcome, "graph_version", None)
+        )
+    rescored = getattr(outcome, "candidates_rescored", None)
+    if rescored is not None:
+        response.update(
+            candidates_total=getattr(outcome, "candidates_total", None),
+            candidates_rescored=rescored,
         )
 
 
@@ -270,6 +287,19 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
         help="per-tenant walk-bundle store budget in MiB (0 = unbounded)",
     )
     parser.add_argument(
+        "--no-topk-index",
+        action="store_true",
+        help="answer top-k queries by the plain chunked scan instead of the "
+        "epoch-scoped walk-fingerprint index (answers are identical)",
+    )
+    parser.add_argument(
+        "--topk-index-budget-mb",
+        type=float,
+        default=None,
+        help="per-tenant byte budget of the epoch-scoped top-k index "
+        "artifacts in MiB (0 = unbounded; default: the library default)",
+    )
+    parser.add_argument(
         "--verify-mutations",
         action="store_true",
         help="cross-check every incremental snapshot rebuild against a full "
@@ -293,6 +323,13 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
             lines = handle.read().splitlines()
 
     budget = None if args.store_budget_mb == 0 else int(args.store_budget_mb * 1024 * 1024)
+    index_kwargs = {}
+    if args.topk_index_budget_mb is not None:
+        index_kwargs["topk_index_budget_bytes"] = (
+            None
+            if args.topk_index_budget_mb == 0
+            else int(args.topk_index_budget_mb * 1024 * 1024)
+        )
     responses: List[str] = []
     with SimilarityService(
         graph,
@@ -308,6 +345,8 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
         ingest_mode=args.ingest_mode,
         max_num_walks=args.max_num_walks,
         verify_mutations=args.verify_mutations,
+        use_topk_index=not args.no_topk_index,
+        **index_kwargs,
     ) as service:
         # (record, query, future-or-error) triples of the current query run;
         # control ops flush the run so responses keep stream order and every

@@ -64,6 +64,8 @@ import threading
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
+
+import numpy as np
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.engine import SimRankEngine
@@ -79,6 +81,13 @@ from repro.core.simrank import (
 )
 from repro.core.sampling import DEFAULT_NUM_WALKS
 from repro.core.topk import PAIR_CHUNK_SIZE, rank_top_k
+from repro.core.topk_index import (
+    DEFAULT_INDEX_BUDGET_BYTES,
+    TopKIndex,
+    pruned_top_k_pairs,
+    pruned_top_k_vertex,
+    snapshot_index,
+)
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.service.bundle_store import DEFAULT_BUDGET_BYTES, WalkBundleStore
 from repro.service.epoch import EpochLease
@@ -108,10 +117,22 @@ class TopKResult(list):
     expect (equality, iteration, indexing); the provenance of the answer —
     which immutable snapshot scored it — rides along as attributes and is
     surfaced as the ``epoch`` / ``graph_version`` response fields of the
-    JSONL runner.
+    JSONL runner.  Answers served through the top-k index additionally
+    carry pruning effectiveness: ``candidates_total`` / ``candidates_rescored``
+    (deterministic, surfaced in runner responses) and ``index_build_ms``
+    (a timing — surfaced only through ``service_stats``, never in the
+    pinned runner response stream).  All three stay ``None`` on the scan
+    path.
     """
 
-    __slots__ = ("epoch", "graph_version", "graph")
+    __slots__ = (
+        "epoch",
+        "graph_version",
+        "graph",
+        "candidates_total",
+        "candidates_rescored",
+        "index_build_ms",
+    )
 
     def __init__(
         self,
@@ -119,11 +140,17 @@ class TopKResult(list):
         epoch: Optional[int] = None,
         graph_version: Optional[int] = None,
         graph: Optional[str] = None,
+        candidates_total: Optional[int] = None,
+        candidates_rescored: Optional[int] = None,
+        index_build_ms: Optional[float] = None,
     ) -> None:
         super().__init__(items)
         self.epoch = epoch
         self.graph_version = graph_version
         self.graph = graph
+        self.candidates_total = candidates_total
+        self.candidates_rescored = candidates_rescored
+        self.index_build_ms = index_build_ms
 
 
 @dataclass(frozen=True)
@@ -319,6 +346,8 @@ class SimilarityService:
         registry: Optional[GraphRegistry] = None,
         default_graph: str = DEFAULT_GRAPH_NAME,
         verify_mutations: bool = False,
+        use_topk_index: bool = True,
+        topk_index_budget_bytes: Optional[int] = DEFAULT_INDEX_BUDGET_BYTES,
     ) -> None:
         if max_batch_size < 1:
             raise InvalidParameterError(
@@ -360,6 +389,8 @@ class SimilarityService:
                     executor=executor,
                     store_budget_bytes=store_budget_bytes,
                     max_num_walks=max_num_walks,
+                    use_topk_index=use_topk_index,
+                    topk_index_budget_bytes=topk_index_budget_bytes,
                 ),
                 verify_mutations=verify_mutations,
             )
@@ -369,6 +400,7 @@ class SimilarityService:
         self.batch_wait_seconds = batch_wait_seconds
         self.read_workers = int(read_workers)
         self.ingest_mode = ingest_mode
+        self.use_topk_index = bool(use_topk_index)
         self.stats = ServiceStats()
         self._queue: "queue.Queue" = queue.Queue()
         self._closed = False
@@ -591,6 +623,13 @@ class SimilarityService:
         stats: Dict[str, object] = self.stats.snapshot()
         stats["read_workers"] = self.read_workers
         stats["ingest_mode"] = self.ingest_mode
+        stats["use_topk_index"] = self.use_topk_index
+        # Instantaneous queue depths: work accepted but not yet started.
+        # qsize() is approximate under concurrency, which is fine for
+        # observability — these answer "is the service keeping up?".
+        stats["dispatch_queue_depth"] = self._queue.qsize()
+        stats["read_pool_queue_depth"] = self._read_pool._work_queue.qsize()
+        stats["writer_queue_depth"] = self._writer_queue.qsize()
         stats["tenants"] = self.registry.stats()
         if self.default_graph in self.registry:
             default_tenant = self.registry.get(self.default_graph)
@@ -762,8 +801,48 @@ class SimilarityService:
         for (method, walks), entries in groups.items():
             executor = executor_for(method)(snapshot)
             overrides: Dict[str, object] = {} if walks is None else {"num_walks": walks}
-            scored = [entry for entry in entries if entry[2].kind != "all_pairs"]
-            streamed = [entry for entry in entries if entry[2].kind == "all_pairs"]
+            # Both top-k plan kinds route through the epoch-scoped index when
+            # the tenant allows it, the snapshot can serve one, and the plan
+            # covers enough of the graph to justify it; a ``None`` index
+            # (python backend, byte budget) degrades to the scan with
+            # identical answers.  The index lookup itself is per group, so
+            # its build cost (a cache miss) is paid once per (method, walks).
+            index: Optional[TopKIndex] = None
+            covered = [
+                entry for entry in entries if self._index_covers(entry[2], snapshot)
+            ]
+            if covered and self.use_topk_index and tenant.config.use_topk_index:
+                index = snapshot_index(snapshot, method, num_walks=walks)
+                tenant.record_index_lookup(
+                    hit=index is not None and index.cache_hit,
+                    usable=index is not None,
+                )
+            indexable = set(map(id, covered))
+            indexed = []
+            scored = []
+            streamed = []
+            for entry in entries:
+                kind = entry[2].kind
+                if kind == "all_pairs":
+                    streamed.append(entry)
+                elif (
+                    index is not None
+                    and id(entry) in indexable
+                    and kind in ("topk_vertex", "topk_pairs")
+                ):
+                    indexed.append(entry)
+                else:
+                    scored.append(entry)
+            for query, future, plan in indexed:
+                try:
+                    _resolve(
+                        future,
+                        result=self._answer_indexed(
+                            tenant, snapshot, executor, index, plan, overrides
+                        ),
+                    )
+                except Exception as error:
+                    _resolve(future, error=error)
             if scored:
                 flat = [pair for _, _, plan in scored for pair in plan.pairs]
                 try:
@@ -804,13 +883,32 @@ class SimilarityService:
                     _resolve(
                         future,
                         result=self._answer_all_pairs_streamed(
-                            tenant, snapshot, executor, plan, overrides
+                            tenant, snapshot, executor, plan, overrides, index
                         ),
                     )
                 except Exception as error:
                     _resolve(future, error=error)
 
     # -- planning and answering ------------------------------------------------
+
+    @staticmethod
+    def _index_covers(plan: "_QueryPlan", snapshot: EngineSnapshot) -> bool:
+        """Whether this plan touches enough of the graph to justify the index.
+
+        A cold index build samples and sketches the walk bundle of *every*
+        vertex, while the scan samples only the endpoints a query names —
+        so a query over a thin explicit candidate slice is cheaper to scan
+        even though the build would be amortized across the epoch.  Plans
+        whose endpoints cover at least half the graph (the default top-k
+        candidate spaces always do) route through the index.
+        """
+        if plan.kind == "all_pairs":
+            return True
+        if plan.kind == "topk_vertex":
+            endpoints = len(plan.items) + 1
+        else:
+            endpoints = len({vertex for pair in plan.pairs for vertex in pair})
+        return 2 * endpoints >= snapshot.csr.num_vertices
 
     def _effective_num_walks(
         self, tenant: GraphTenant, snapshot: EngineSnapshot, query: Query
@@ -929,6 +1027,54 @@ class SimilarityService:
             graph=tenant.name,
         )
 
+    def _answer_indexed(
+        self,
+        tenant: GraphTenant,
+        snapshot: EngineSnapshot,
+        executor: MethodExecutor,
+        index: TopKIndex,
+        plan: _QueryPlan,
+        overrides: Dict[str, object],
+    ) -> "TopKResult":
+        """Answer one top-k plan through the pruned two-phase index path.
+
+        Bit-identical to :meth:`_assemble` over a full ``run_batch``: the
+        pruned ranking preserves :func:`rank_top_k` tie-breaking, and the
+        surviving candidates rescore through the *same* group executor a
+        scan would use.
+        """
+        if plan.kind == "topk_vertex":
+            if not plan.items:
+                tenant.record_prune(0, 0)
+                return TopKResult(
+                    [],
+                    epoch=snapshot.epoch_id,
+                    graph_version=snapshot.graph_version,
+                    graph=tenant.name,
+                    candidates_total=0,
+                    candidates_rescored=0,
+                    index_build_ms=index.build_ms,
+                )
+            ranked, prune = pruned_top_k_vertex(
+                executor, index, plan.pairs[0][0], plan.items, plan.k, overrides
+            )
+            items: list = [(vertex, result.score) for vertex, result in ranked]
+        else:
+            ranked, prune = pruned_top_k_pairs(
+                executor, index, plan.items, plan.k, overrides
+            )
+            items = [(u, v, result.score) for (u, v), result in ranked]
+        tenant.record_prune(prune.candidates_total, prune.candidates_rescored)
+        return TopKResult(
+            items,
+            epoch=snapshot.epoch_id,
+            graph_version=snapshot.graph_version,
+            graph=tenant.name,
+            candidates_total=prune.candidates_total,
+            candidates_rescored=prune.candidates_rescored,
+            index_build_ms=prune.index_build_ms,
+        )
+
     def _answer_all_pairs_streamed(
         self,
         tenant: GraphTenant,
@@ -936,6 +1082,7 @@ class SimilarityService:
         executor: MethodExecutor,
         plan: _QueryPlan,
         overrides: Dict[str, object],
+        index: Optional[TopKIndex] = None,
     ) -> "TopKResult":
         """Top-k over the default quadratic pair space, chunk by chunk.
 
@@ -944,20 +1091,53 @@ class SimilarityService:
         state is reset (and the store's LRU budget bounds bundle residency),
         so memory stays O(k + chunk) no matter the graph size.  Tie-breaking
         matches :func:`rank_top_k`.
+
+        With an ``index``, once ``k`` scores are held each chunk drops the
+        pairs whose upper bound is *strictly* below the current k-th best
+        before rescoring — they can never displace a held entry nor tie one
+        (ties only arise at equal scores, and a dropped pair's score is
+        strictly below), so the answer is unchanged.  Candidate positions
+        are assigned before pruning, keeping tie order identical.
         """
         best: List[Tuple[float, int, Vertex, Vertex]] = []
         counter = 0
         chunk: List[Tuple[Vertex, Vertex]] = []
+        candidates_total = 0
+        candidates_rescored = 0
+        csr = snapshot.csr
 
         def score_chunk() -> None:
-            nonlocal counter
-            for (u, v), result in zip(chunk, executor.run_batch(chunk, overrides)):
-                item = (result.score, -counter, u, v)
+            nonlocal counter, candidates_total, candidates_rescored
+            positions = range(counter, counter + len(chunk))
+            counter += len(chunk)
+            candidates_total += len(chunk)
+            to_score: Sequence[Tuple[Vertex, Vertex]] = chunk
+            kept_positions: Sequence[int] = positions
+            if index is not None and len(best) >= plan.k:
+                kth = best[0][0]
+                u_indices = np.fromiter(
+                    (csr.index_of(u) for u, _ in chunk),
+                    dtype=np.int64,
+                    count=len(chunk),
+                )
+                v_indices = np.fromiter(
+                    (csr.index_of(v) for _, v in chunk),
+                    dtype=np.int64,
+                    count=len(chunk),
+                )
+                survivors = index.bounds_for_pairs(u_indices, v_indices) >= kth
+                to_score = [pair for pair, kept in zip(chunk, survivors) if kept]
+                kept_positions = [
+                    position for position, kept in zip(positions, survivors) if kept
+                ]
+            candidates_rescored += len(to_score)
+            scored = executor.run_batch(list(to_score), overrides)
+            for (u, v), position, result in zip(to_score, kept_positions, scored):
+                item = (result.score, -position, u, v)
                 if len(best) < plan.k:
                     heapq.heappush(best, item)
                 elif item > best[0]:
                     heapq.heapreplace(best, item)
-                counter += 1
             executor.reset_shared_state()
 
         for pair in itertools.combinations(snapshot.csr.vertices, 2):
@@ -968,11 +1148,16 @@ class SimilarityService:
         if chunk:
             score_chunk()
         ranked = sorted(best, reverse=True)
+        if index is not None:
+            tenant.record_prune(candidates_total, candidates_rescored)
         return TopKResult(
             [(u, v, score) for score, _, u, v in ranked],
             epoch=snapshot.epoch_id,
             graph_version=snapshot.graph_version,
             graph=tenant.name,
+            candidates_total=candidates_total if index is not None else None,
+            candidates_rescored=candidates_rescored if index is not None else None,
+            index_build_ms=index.build_ms if index is not None else None,
         )
 
 

@@ -50,6 +50,7 @@ from typing import Dict, Hashable, Iterable, Iterator, List, Optional, Set, Tupl
 from repro.core.engine import SimRankEngine
 from repro.core.sampling import DEFAULT_NUM_WALKS
 from repro.core.simrank import DEFAULT_DECAY, DEFAULT_ITERATIONS
+from repro.core.topk_index import DEFAULT_INDEX_BUDGET_BYTES
 from repro.graph.csr import CSRGraph
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.service.bundle_store import DEFAULT_BUDGET_BYTES, WalkBundleStore
@@ -265,6 +266,14 @@ class TenantConfig:
     #: Admission cap on per-query ``num_walks`` overrides (``None`` = no cap;
     #: the tenant's configured ``num_walks`` default is always admitted).
     max_num_walks: Optional[int] = None
+    #: Whether this tenant's top-k queries may route through the epoch-scoped
+    #: walk-fingerprint index (:mod:`repro.core.topk_index`).  Answers are
+    #: identical either way; opting out trades index build/storage cost for
+    #: the plain chunked scan.
+    use_topk_index: bool = True
+    #: Byte budget of the tenant's per-epoch top-k index artifacts
+    #: (``None`` = unbounded).
+    topk_index_budget_bytes: Optional[int] = DEFAULT_INDEX_BUDGET_BYTES
 
     def replace(self, **overrides: object) -> "TenantConfig":
         """A copy with the given fields overridden (unknown fields rejected)."""
@@ -363,6 +372,7 @@ class GraphTenant:
             # version answers bit-identically to the service.
             shard_size=config.shard_size,
             bundle_store=self.store,
+            topk_index_budget_bytes=config.topk_index_budget_bytes,
         )
         self.epochs = EpochManager()
         #: Serializes writers (mutation ingest, epoch refresh).  Queries
@@ -371,6 +381,18 @@ class GraphTenant:
         self._applying = False
         self.mutations_applied = 0
         self.ops_applied = 0
+        # Top-k index observability: lookups/hits tally snapshot_index calls
+        # (a lookup is "usable" when it yielded an index at all, a "hit" when
+        # that index came from the store rather than a fresh build); the
+        # prune counters accumulate candidate totals vs. exact rescores
+        # across indexed queries, yielding the tenant's prune ratio.
+        self._index_stats_lock = threading.Lock()
+        self.index_lookups = 0
+        self.index_usable = 0
+        self.index_hits = 0
+        self.prune_queries = 0
+        self.prune_candidates_total = 0
+        self.prune_candidates_rescored = 0
 
     # -- epoch publication and pinning ----------------------------------------
 
@@ -489,6 +511,48 @@ class GraphTenant:
 
     # -- introspection --------------------------------------------------------
 
+    def record_index_lookup(self, hit: bool, usable: bool) -> None:
+        """Tally one top-k index lookup made on this tenant's behalf.
+
+        ``usable`` — the lookup yielded an index (vs. a ``None`` fallback to
+        the scan); ``hit`` — that index came from the epoch-scoped store
+        rather than a fresh build.
+        """
+        with self._index_stats_lock:
+            self.index_lookups += 1
+            if usable:
+                self.index_usable += 1
+            if hit:
+                self.index_hits += 1
+
+    def record_prune(self, candidates_total: int, candidates_rescored: int) -> None:
+        """Accumulate one indexed query's candidate / rescore counts."""
+        with self._index_stats_lock:
+            self.prune_queries += 1
+            self.prune_candidates_total += int(candidates_total)
+            self.prune_candidates_rescored += int(candidates_rescored)
+
+    def topk_index_stats(self) -> Dict[str, object]:
+        """The tenant's top-k index counters (a ``stats()`` sub-dict)."""
+        with self._index_stats_lock:
+            total = self.prune_candidates_total
+            rescored = self.prune_candidates_rescored
+            counters: Dict[str, object] = {
+                "enabled": self.config.use_topk_index,
+                "lookups": self.index_lookups,
+                "usable": self.index_usable,
+                "hits": self.index_hits,
+                "misses": self.index_usable - self.index_hits,
+                "pruned_queries": self.prune_queries,
+                "candidates_total": total,
+                "candidates_rescored": rescored,
+                "prune_ratio": (1.0 - rescored / total) if total else 0.0,
+            }
+        store = getattr(self.engine.caches, "topk_indexes", None)
+        if store is not None:
+            counters["store"] = store.stats()
+        return counters
+
     def stats(self) -> Dict[str, object]:
         """JSON-friendly per-tenant counters (the ``stats`` response shape)."""
         return {
@@ -507,6 +571,7 @@ class GraphTenant:
             "iterations": self.config.iterations,
             "max_num_walks": self.config.max_num_walks,
             "epochs": self.epochs.stats(),
+            "topk_index": self.topk_index_stats(),
         }
 
     def close(self) -> None:

@@ -27,6 +27,7 @@ class TestCLI:
             "tenancy",
             "epoch",
             "methods",
+            "topk_index",
             "case-ppi",
             "case-er",
         } == set(EXPERIMENTS)

@@ -248,3 +248,49 @@ class TestTopKDeterminism:
         assert len(top) == 3
         # 4 candidates + the query vertex = 5 unique endpoints = 5 bundles.
         assert len(store) == 5
+
+
+class TestTopKIndexThroughHelpers:
+    """The use_index= path of the helpers on the paper graph (the deep
+    bound/prune properties live in tests/test_topk_index.py)."""
+
+    @pytest.mark.parametrize("method", METHODS)
+    def test_use_index_matches_scan_every_method(self, paper_graph, method):
+        engine = SimRankEngine(paper_graph, num_walks=200, seed=11)
+        scan = top_k_similar_to(engine, "v1", k=3, method=method)
+        pruned = top_k_similar_to(engine, "v1", k=3, method=method, use_index=True)
+        assert pruned == scan
+
+    def test_use_index_matches_scan_for_pairs(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=200, seed=11)
+        scan = top_k_similar_pairs(engine, k=3, method="sampling")
+        pruned = top_k_similar_pairs(engine, k=3, method="sampling", use_index=True)
+        assert pruned == scan
+
+    def test_use_index_ties_keep_candidate_order(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=150, seed=4)
+        candidates = ["v3", "v2", "v3", "v4"]  # duplicate = exact tie
+        scan = top_k_similar_to(
+            engine, "v1", k=4, candidates=candidates, method="sampling"
+        )
+        pruned = top_k_similar_to(
+            engine, "v1", k=4, candidates=candidates, method="sampling", use_index=True
+        )
+        assert pruned == scan
+
+    def test_use_index_keeps_hoisted_validation(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=100, seed=4)
+        with pytest.raises(InvalidParameterError):
+            top_k_similar_to(engine, "v1", k=2, candidates=["ghost"], use_index=True)
+        with pytest.raises(InvalidParameterError):
+            top_k_similar_pairs(
+                engine, k=2, candidate_pairs=[("v1", "ghost")], use_index=True
+            )
+
+    def test_index_artifacts_cached_on_engine(self, paper_graph):
+        engine = SimRankEngine(paper_graph, num_walks=100, seed=4)
+        top_k_similar_to(engine, "v1", k=2, method="sampling", use_index=True)
+        store = engine.caches.topk_indexes.stats()
+        assert store["entries"] > 0
+        top_k_similar_to(engine, "v2", k=2, method="sampling", use_index=True)
+        assert engine.caches.topk_indexes.stats()["hits"] > store["hits"]

@@ -864,3 +864,73 @@ class TestChunkHeuristicIdentity:
                 np.zeros(3, dtype=np.uint64),
                 chunk_rows=0,
             )
+
+
+class TestIndexedTopKThroughService:
+    """The walk-fingerprint index on the service path: identical answers to
+    a no-index service, prune provenance on results and tenant stats."""
+
+    def test_indexed_matches_no_index_service(self):
+        answers = {}
+        for use_index in (True, False):
+            with SimilarityService(
+                example_graph(), num_walks=200, seed=9, use_topk_index=use_index
+            ) as service:
+                answers[use_index] = (
+                    tuple(service.top_k_for_vertex("v1", 3, method="sampling")),
+                    tuple(service.top_k_pairs(3, method="sampling")),
+                )
+        assert answers[True] == answers[False]
+
+    def test_prune_counters_surface_on_results_and_stats(self):
+        with SimilarityService(
+            example_graph(), num_walks=200, seed=9
+        ) as service:
+            top = service.top_k_for_vertex("v1", 3, method="sampling")
+            stats = service.tenant().topk_index_stats()
+        assert top.candidates_total is not None
+        assert top.candidates_rescored is not None
+        assert 0 < top.candidates_rescored <= top.candidates_total
+        assert stats["enabled"] and stats["usable"] > 0
+        assert stats["candidates_rescored"] == top.candidates_rescored
+        assert stats["store"]["entries"] > 0
+
+    def test_opt_out_service_reports_disabled_index(self):
+        with SimilarityService(
+            example_graph(), num_walks=100, seed=9, use_topk_index=False
+        ) as service:
+            top = service.top_k_for_vertex("v1", 2, method="sampling")
+            stats = service.service_stats()
+        assert top.candidates_total is None
+        assert stats["use_topk_index"] is False
+        assert stats["tenants"]["default"]["topk_index"]["usable"] == 0
+
+    def test_indexed_identity_survives_ingest(self):
+        """Indexed answers under mutation ingest match a fresh no-index
+        service rebuilt at every published graph version."""
+        logs = [
+            MutationLog().add_edge("v4", f"w-{index}", 0.4 + 0.1 * index)
+            for index in range(2)
+        ]
+        observed = []
+        graph = example_graph()
+        with SimilarityService(graph, num_walks=150, seed=21) as service:
+            top = service.top_k_for_vertex("v1", 3, method="sampling")
+            observed.append((top.graph_version, tuple(top)))
+            for log in logs:
+                service.mutate(log)
+                top = service.top_k_for_vertex("v1", 3, method="sampling")
+                observed.append((top.graph_version, tuple(top)))
+
+        # Every observed answer must equal a scratch engine's un-indexed
+        # scan at the graph state its version reports.
+        from repro.core.topk import top_k_similar_to
+
+        for round_number, (version, ranking) in enumerate(observed):
+            frozen = example_graph()
+            for log in logs[:round_number]:
+                log.apply_to(frozen)
+            engine = SimRankEngine(frozen, num_walks=150, seed=21)
+            scan = top_k_similar_to(engine, "v1", 3, method="sampling")
+            assert tuple(scan) == ranking, f"version {version}"
+        assert len({version for version, _ in observed}) == len(observed)

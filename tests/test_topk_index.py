@@ -1,0 +1,422 @@
+"""Tests for the epoch-scoped walk-fingerprint top-k index.
+
+The load-bearing properties, in order: (1) every bound really is an upper
+bound on the exact score its method computes, (2) index-pruned rankings are
+bit-identical to the chunked scan — same vertices, same scores, same tie
+order — across methods, graphs and adversarial tie cases, (3) the store
+honours its byte budget and the cache layers behave (LRU, over-budget
+refusal, fallback to the scan).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch_walks import NO_VERTEX
+from repro.core.engine import SimRankEngine
+from repro.core.executors import TransitionCache, executor_for
+from repro.core.topk import top_k_similar_pairs, top_k_similar_to
+from repro.core.topk_index import (
+    TopKIndexStore,
+    VertexSketches,
+    sketch_walk_matrices,
+    snapshot_index,
+    step_weights,
+    survival_masses,
+)
+from repro.graph.generators import rmat_uncertain
+from repro.utils.errors import InvalidParameterError
+
+METHODS = ("baseline", "sampling", "two_phase", "speedup")
+
+
+def _random_graph(seed: int, num_vertices: int = 40, num_edges: int = 140):
+    return rmat_uncertain(num_vertices, num_edges, rng=np.random.default_rng(seed))
+
+
+class TestStepWeights:
+    def test_weights_sum_to_decay(self):
+        """Σ_{k=1}^{n} w_k = c — the identity every tail constant relies on."""
+        for decay in (0.4, 0.6, 0.8):
+            for iterations in (1, 3, 5):
+                weights = step_weights(decay, iterations)
+                assert weights.shape == (iterations,)
+                assert weights.sum() == pytest.approx(decay)
+                assert (weights > 0).all()
+
+    def test_tail_weight_is_decay_power(self):
+        """Σ_{k=l+1}^{n} w_k = c^{l+1} — the speedup tail constant."""
+        weights = step_weights(0.6, 5)
+        for prefix in range(5):
+            assert weights[prefix:].sum() == pytest.approx(0.6 ** (prefix + 1))
+
+
+class TestSurvivalMasses:
+    def test_matches_brute_force(self):
+        graph = _random_graph(3)
+        from repro.graph.csr import CSRGraph
+
+        frozen = CSRGraph.from_uncertain(graph)
+        survival = survival_masses(frozen)
+        for position in range(frozen.num_vertices):
+            vertex = frozen.vertex_at(position)
+            miss = 1.0
+            for probability in graph.out_arcs(vertex).values():
+                miss *= 1.0 - min(probability, 1.0)
+            assert survival[position] >= (1.0 - miss) - 1e-12
+            assert survival[position] == pytest.approx(1.0 - miss, abs=1e-6)
+
+    def test_certain_arc_row_is_one_and_sink_is_zero(self):
+        from repro.graph.csr import CSRGraph
+        from repro.graph.uncertain_graph import UncertainGraph
+
+        graph = UncertainGraph(vertices=("sink",))
+        graph.add_arc("a", "b", 1.0)
+        graph.add_arc("a", "c", 0.5)
+        frozen = CSRGraph.from_uncertain(graph)
+        survival = survival_masses(frozen)
+        assert survival[frozen.index_of("a")] == 1.0
+        assert survival[frozen.index_of("sink")] == pytest.approx(0.0, abs=1e-8)
+        assert (survival <= 1.0).all()
+
+
+class TestSketches:
+    def _raw_matrices(self, seed: int, bundles=5, walks=20, length=4):
+        rng = np.random.default_rng(seed)
+        matrices = rng.integers(0, 6, size=(bundles, walks, length + 1), dtype=np.int64)
+        dead = rng.random(matrices.shape) < 0.3
+        matrices[dead] = NO_VERTEX
+        # A walk that dies stays dead: enforce suffix deadness like a sampler.
+        for b in range(bundles):
+            for w in range(walks):
+                died = False
+                for step in range(length + 1):
+                    if matrices[b, w, step] == NO_VERTEX:
+                        died = True
+                    if died:
+                        matrices[b, w, step] = NO_VERTEX
+        return matrices
+
+    def test_counts_dominate_exact_matches(self):
+        """The SWAR matched count can only overcount true vertex matches."""
+        matrices = self._raw_matrices(11)
+        walks = matrices.shape[1]
+        words = sketch_walk_matrices(matrices, walks)
+        sketches = VertexSketches(words, walks, matrices.shape[2] - 1)
+        for u in range(matrices.shape[0]):
+            for v in range(matrices.shape[0]):
+                counts = sketches.matched_counts(u, np.asarray([v]))[0]
+                for step in range(1, matrices.shape[2]):
+                    left = matrices[u, :, step]
+                    right = matrices[v, :, step]
+                    alive = (left != NO_VERTEX) & (right != NO_VERTEX)
+                    exact = int((alive & (left == right)).sum())
+                    alive_left = int((left != NO_VERTEX).sum())
+                    assert exact <= counts[step - 1] <= alive_left
+
+    def test_identical_bundles_match_everywhere_alive(self):
+        matrices = self._raw_matrices(4, bundles=1)
+        matrices = np.concatenate([matrices, matrices])
+        walks = matrices.shape[1]
+        sketches = VertexSketches(
+            sketch_walk_matrices(matrices, walks), walks, matrices.shape[2] - 1
+        )
+        counts = sketches.matched_counts(0, np.asarray([1]))[0]
+        for step in range(1, matrices.shape[2]):
+            assert counts[step - 1] == (matrices[0, :, step] != NO_VERTEX).sum()
+
+    def test_pair_counts_agree_with_vertex_counts(self):
+        matrices = self._raw_matrices(9)
+        walks = matrices.shape[1]
+        sketches = VertexSketches(
+            sketch_walk_matrices(matrices, walks), walks, matrices.shape[2] - 1
+        )
+        u = np.asarray([0, 1, 2])
+        v = np.asarray([3, 4, 0])
+        pairwise = sketches.matched_counts_pairs(u, v)
+        for row, (left, right) in enumerate(zip(u, v)):
+            single = sketches.matched_counts(int(left), np.asarray([int(right)]))[0]
+            assert (pairwise[row] == single).all()
+
+
+class TestBoundValidity:
+    """Property: ub(u, v) >= exact score, for every method, on random graphs."""
+
+    @pytest.mark.parametrize("seed", (1, 7))
+    @pytest.mark.parametrize("method", METHODS)
+    def test_vertex_bounds_dominate_scores(self, seed, method):
+        graph = _random_graph(seed)
+        engine = SimRankEngine(graph, num_walks=120, seed=seed)
+        snapshot = engine.snapshot()
+        index = snapshot_index(snapshot, method, num_walks=120)
+        assert index is not None
+        vertices = graph.vertices()
+        query = vertices[0]
+        candidates = vertices[1:]
+        csr = snapshot.csr
+        bounds = index.bounds_for_vertex(
+            csr.index_of(query),
+            np.asarray([csr.index_of(c) for c in candidates]),
+        )
+        executor = engine.batch_executor(method)
+        overrides = {} if method == "baseline" else {"num_walks": 120}
+        results = executor.run_batch(
+            [(query, candidate) for candidate in candidates], overrides
+        )
+        for candidate, bound, result in zip(candidates, bounds, results):
+            assert result.score <= bound, (method, query, candidate)
+
+    @pytest.mark.parametrize("method", ("sampling", "two_phase"))
+    def test_pair_bounds_dominate_scores(self, method):
+        graph = _random_graph(5)
+        engine = SimRankEngine(graph, num_walks=120, seed=5)
+        snapshot = engine.snapshot()
+        index = snapshot_index(snapshot, method, num_walks=120)
+        vertices = graph.vertices()
+        pairs = [(vertices[i], vertices[(i * 7 + 3) % len(vertices)]) for i in range(25)]
+        csr = snapshot.csr
+        bounds = index.bounds_for_pairs(
+            np.asarray([csr.index_of(u) for u, _ in pairs]),
+            np.asarray([csr.index_of(v) for _, v in pairs]),
+        )
+        executor = engine.batch_executor(method)
+        results = executor.run_batch(pairs, {"num_walks": 120})
+        for (u, v), bound, result in zip(pairs, bounds, results):
+            assert result.score <= bound, (method, u, v)
+
+    def test_self_pairs_are_never_pruned(self):
+        graph = _random_graph(2)
+        engine = SimRankEngine(graph, num_walks=80, seed=2)
+        index = snapshot_index(engine.snapshot(), "sampling", num_walks=80)
+        csr = index.csr
+        bounds = index.bounds_for_vertex(0, np.asarray([0, 1, 2]))
+        assert bounds[0] == np.inf
+        pair_bounds = index.bounds_for_pairs(np.asarray([3, 4]), np.asarray([3, 5]))
+        assert pair_bounds[0] == np.inf
+        assert np.isfinite(pair_bounds[1])
+
+
+class TestPrunedIdentity:
+    """Pruned top-k is bit-identical to the scan — scores AND tie order."""
+
+    @pytest.mark.parametrize("seed", (2, 13))
+    @pytest.mark.parametrize("method", METHODS)
+    def test_top_k_similar_to_matches_scan(self, seed, method):
+        graph = _random_graph(seed)
+        engine = SimRankEngine(graph, num_walks=120, seed=seed)
+        query = graph.vertices()[0]
+        scan = top_k_similar_to(engine, query, 6, method=method)
+        pruned = top_k_similar_to(engine, query, 6, method=method, use_index=True)
+        assert pruned == scan
+
+    @pytest.mark.parametrize("method", ("sampling", "two_phase"))
+    def test_top_k_similar_pairs_matches_scan(self, method):
+        graph = _random_graph(8)
+        engine = SimRankEngine(graph, num_walks=100, seed=8)
+        vertices = graph.vertices()
+        pairs = [
+            (vertices[i], vertices[j])
+            for i in range(0, 14)
+            for j in range(i + 1, 14)
+        ]
+        scan = top_k_similar_pairs(engine, 5, candidate_pairs=pairs, method=method)
+        pruned = top_k_similar_pairs(
+            engine, 5, candidate_pairs=pairs, method=method, use_index=True
+        )
+        assert pruned == scan
+
+    def test_adversarial_ties_keep_candidate_order(self):
+        """Duplicated candidates produce exact ties; pruning must not reorder
+        them (they re-score identically and tie-break on submission order)."""
+        graph = _random_graph(6)
+        engine = SimRankEngine(graph, num_walks=100, seed=6)
+        vertices = graph.vertices()
+        query = vertices[0]
+        candidates = list(vertices[1:10]) + list(vertices[1:10])
+        scan = top_k_similar_to(
+            engine, query, 12, candidates=candidates, method="sampling"
+        )
+        pruned = top_k_similar_to(
+            engine, query, 12, candidates=candidates, method="sampling", use_index=True
+        )
+        assert pruned == scan
+
+    def test_k_exceeding_candidates_and_singleton(self):
+        graph = _random_graph(4)
+        engine = SimRankEngine(graph, num_walks=80, seed=4)
+        vertices = graph.vertices()
+        query = vertices[0]
+        for k, candidates in ((99, vertices[1:5]), (1, vertices[1:2])):
+            scan = top_k_similar_to(engine, query, k, candidates=candidates)
+            pruned = top_k_similar_to(
+                engine, query, k, candidates=candidates, use_index=True
+            )
+            assert pruned == scan
+
+    def test_python_backend_falls_back_to_scan(self):
+        """The python sampler is not the keyed estimator the sketches bound:
+        the index must decline and the helper must still answer correctly.
+        The python sampler consumes engine RNG state per call, so the
+        comparison uses two identically-seeded engines, not one engine."""
+        graph = _random_graph(3)
+        engines = [
+            SimRankEngine(graph, num_walks=60, seed=3, backend="python")
+            for _ in range(2)
+        ]
+        assert snapshot_index(engines[0].snapshot(), "sampling", num_walks=60) is None
+        query = graph.vertices()[0]
+        scan = top_k_similar_to(engines[0], query, 4, method="sampling")
+        fallback = top_k_similar_to(
+            engines[1], query, 4, method="sampling", use_index=True
+        )
+        assert fallback == scan
+
+    def test_chunk_size_never_changes_pair_ranking(self):
+        graph = _random_graph(10)
+        engine = SimRankEngine(graph, num_walks=80, seed=10)
+        vertices = graph.vertices()
+        pairs = [(vertices[i], vertices[i + 1]) for i in range(12)]
+        default = top_k_similar_pairs(engine, 4, candidate_pairs=pairs)
+        for chunk_size in (1, 3, 1000):
+            assert (
+                top_k_similar_pairs(
+                    engine, 4, candidate_pairs=pairs, chunk_size=chunk_size
+                )
+                == default
+            )
+        with pytest.raises(InvalidParameterError):
+            top_k_similar_pairs(engine, 4, candidate_pairs=pairs, chunk_size=0)
+
+
+class TestIndexStore:
+    def test_hit_miss_accounting_and_reuse(self):
+        store = TopKIndexStore(budget_bytes=1024)
+        built = []
+
+        def build():
+            built.append(1)
+            return np.zeros(16, dtype=np.uint8)
+
+        first, first_ms = store.get_or_build(("a",), build, lambda a: a.nbytes)
+        second, second_ms = store.get_or_build(("a",), build, lambda a: a.nbytes)
+        assert second is first
+        assert len(built) == 1
+        assert second_ms == 0.0
+        assert store.hits == 1 and store.misses == 1
+
+    def test_lru_eviction_under_budget(self):
+        store = TopKIndexStore(budget_bytes=100)
+        make = lambda: np.zeros(40, dtype=np.uint8)  # noqa: E731
+        store.get_or_build(("a",), make, lambda a: a.nbytes)
+        store.get_or_build(("b",), make, lambda a: a.nbytes)
+        store.get_or_build(("a",), make, lambda a: a.nbytes)  # refresh a
+        store.get_or_build(("c",), make, lambda a: a.nbytes)  # evicts b (LRU)
+        assert store.evictions == 1
+        assert store.bytes_used == 80
+        hits_before = store.hits
+        store.get_or_build(("a",), make, lambda a: a.nbytes)
+        assert store.hits == hits_before + 1  # a survived the eviction
+
+    def test_single_over_budget_artifact_refused(self):
+        store = TopKIndexStore(budget_bytes=10)
+        artifact, _ = store.get_or_build(
+            ("big",), lambda: np.zeros(64, dtype=np.uint8), lambda a: a.nbytes
+        )
+        assert artifact is None
+        assert store.evictions == 1
+        assert len(store) == 0
+
+    def test_invalid_budget_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TopKIndexStore(budget_bytes=0)
+
+    def test_stats_shape(self):
+        store = TopKIndexStore()
+        stats = store.stats()
+        assert set(stats) == {
+            "entries", "bytes", "budget_bytes", "hits", "misses",
+            "evictions", "build_ms_total",
+        }
+
+    def test_engine_budget_gates_the_index(self):
+        """An engine with a tiny index budget silently serves the scan."""
+        graph = _random_graph(7)
+        engine = SimRankEngine(
+            graph, num_walks=60, seed=7, topk_index_budget_bytes=8
+        )
+        assert snapshot_index(engine.snapshot(), "sampling", num_walks=60) is None
+        query = graph.vertices()[0]
+        reference = SimRankEngine(graph, num_walks=60, seed=7)
+        assert top_k_similar_to(
+            engine, query, 3, method="sampling", use_index=True
+        ) == top_k_similar_to(reference, query, 3, method="sampling")
+
+    def test_index_artifacts_cached_across_queries(self):
+        graph = _random_graph(12)
+        engine = SimRankEngine(graph, num_walks=60, seed=12)
+        query = graph.vertices()[0]
+        top_k_similar_to(engine, query, 3, method="sampling", use_index=True)
+        store = engine.caches.topk_indexes
+        misses_after_first = store.misses
+        top_k_similar_to(engine, graph.vertices()[1], 3, method="sampling", use_index=True)
+        assert store.misses == misses_after_first  # artifacts reused
+        assert store.hits > 0
+
+    def test_mutation_retires_index_with_the_caches(self):
+        graph = _random_graph(14)
+        engine = SimRankEngine(graph, num_walks=60, seed=14)
+        query = graph.vertices()[0]
+        top_k_similar_to(engine, query, 3, method="sampling", use_index=True)
+        before = engine.caches.topk_indexes
+        assert len(before) > 0
+        u, v = graph.vertices()[0], graph.vertices()[1]
+        if not graph.has_arc(u, v):
+            graph.add_arc(u, v, 0.5)
+        else:
+            graph.remove_arc(u, v)
+        after = engine.caches.topk_indexes
+        assert after is not before  # snapshot-scoped: replaced wholesale
+        assert len(after) == 0
+
+
+class TestTransitionCache:
+    def test_put_get_and_lru(self):
+        cache = TransitionCache(max_states=5)
+        entry_a = [{"x": 0.5}, {"y": 0.5}]  # 2 states + 1 overhead = 3
+        entry_b = [{"z": 1.0}]  # 1 state + 1 overhead = 2
+        cache.put("a", entry_a)
+        cache.put("b", entry_b)
+        assert cache.get("a") is entry_a
+        cache.put("c", [{"w": 1.0}])  # evicts b: a was refreshed by the get
+        assert cache.get("b") is None
+        assert cache.get("a") is entry_a
+        stats = cache.stats()
+        assert stats["evictions"] == 1
+        assert stats["hits"] == 2 and stats["misses"] == 1
+
+    def test_oversized_entry_refused(self):
+        cache = TransitionCache(max_states=2)
+        cache.put("big", [{"a": 0.5, "b": 0.5}, {"c": 1.0}])
+        assert len(cache) == 0
+        assert cache.stats()["evictions"] == 1
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            TransitionCache(max_states=0)
+
+    def test_exact_distributions_shared_across_batches(self):
+        """The cross-batch satellite: a second batch on the same snapshot
+        reuses the exact transition distributions of the first."""
+        graph = _random_graph(5)
+        engine = SimRankEngine(graph, num_walks=60, seed=5)
+        snapshot = engine.snapshot()
+        pairs = [(graph.vertices()[0], graph.vertices()[1])]
+        executor_for("two_phase")(snapshot).run_batch(pairs, {})
+        transitions = snapshot.caches.transitions
+        assert len(transitions) > 0
+        misses_before = transitions.stats()["misses"]
+        executor_for("two_phase")(snapshot).run_batch(pairs, {})
+        stats = transitions.stats()
+        assert stats["misses"] == misses_before  # all served from cache
+        assert stats["hits"] > 0

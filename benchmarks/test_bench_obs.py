@@ -1,0 +1,88 @@
+"""Observability overhead guard: instrumentation must be (nearly) free.
+
+The obs subsystem's contract is that a service built with the *default*
+:class:`~repro.obs.Observability` (metrics registry on, tracing off) serves
+the same workload within a few percent of a fully disabled build, because
+instrumentation sites resolve their instruments once and each hot-path
+touch is a couple of ``perf_counter`` reads plus an O(log buckets) histogram
+insert.  This benchmark measures both configurations on one service
+workload (interleaved min-of-N, the protocol that filters scheduler noise)
+and fails if the instrumented build regresses past the allowance.
+
+The allowance is deliberately loose in quick mode (the CI smoke job runs on
+noisy shared runners and a ~1s workload): 25% there, 10% at full scale
+where the workload is long enough for min-of-N to converge.  The measured
+ratio always lands in ``extra_info`` so the CI artifact records the real
+number.
+"""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from bench_config import BENCH_NUM_WALKS, QUICK, SWEEP_GRAPH_SIZE
+from repro.graph.generators import rmat_uncertain
+from repro.obs import Observability
+from repro.service import PairQuery, SimilarityService, TopKVertexQuery
+
+ITERATIONS = 4
+NUM_QUERIES = 12 if QUICK else 24
+K = 5
+REPEATS = 3 if QUICK else 5
+#: Maximum tolerated instrumented/disabled wall-time ratio.
+OVERHEAD_ALLOWANCE = 1.25 if QUICK else 1.10
+
+
+@pytest.fixture(scope="module")
+def workload():
+    graph = rmat_uncertain(*SWEEP_GRAPH_SIZE, rng=47, prob_low=0.2, prob_high=0.9)
+    vertices = graph.vertices()
+    queries = []
+    for index in range(NUM_QUERIES):
+        u = vertices[(7 * index) % len(vertices)]
+        v = vertices[(11 * index + 3) % len(vertices)]
+        if index % 3 == 2:
+            queries.append(TopKVertexQuery(u, K))
+        else:
+            queries.append(PairQuery(u, v))
+    return graph, queries
+
+
+def _run_service(graph, queries, obs: Observability) -> float:
+    with SimilarityService(
+        graph,
+        iterations=ITERATIONS,
+        num_walks=BENCH_NUM_WALKS,
+        seed=13,
+        batch_wait_seconds=0.0005,
+        obs=obs,
+    ) as service:
+        start = time.perf_counter()
+        futures = [service.submit(query) for query in queries]
+        for future in futures:
+            future.result()
+        return time.perf_counter() - start
+
+
+@pytest.mark.paper_artifact("obs-overhead-guard")
+def test_bench_obs_overhead(benchmark, workload):
+    """Default metrics-on service within OVERHEAD_ALLOWANCE of disabled."""
+    graph, queries = workload
+
+    def compare() -> float:
+        # Warm-up run absorbs one-time costs (thread spawn, numpy dispatch).
+        _run_service(graph, queries, Observability.disabled())
+        disabled, instrumented = [], []
+        for _ in range(REPEATS):
+            disabled.append(_run_service(graph, queries, Observability.disabled()))
+            instrumented.append(_run_service(graph, queries, Observability()))
+        return min(instrumented) / min(disabled)
+
+    ratio = benchmark.pedantic(compare, rounds=1, iterations=1)
+    benchmark.extra_info["obs_overhead_ratio"] = ratio
+    assert ratio <= OVERHEAD_ALLOWANCE, (
+        f"metrics-on service is {100.0 * (ratio - 1.0):.1f}% slower than the "
+        f"disabled baseline (allowance {100.0 * (OVERHEAD_ALLOWANCE - 1.0):.0f}%)"
+    )

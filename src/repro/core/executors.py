@@ -98,6 +98,7 @@ from repro.core.speedup import (
     propagate_packed_tables,
 )
 from repro.core.topk_index import DEFAULT_INDEX_BUDGET_BYTES, TopKIndexStore
+from repro.obs import NULL_SCOPE
 from repro.core.transition import single_source_transition_probabilities
 from repro.core.two_phase import DEFAULT_EXACT_PREFIX, two_phase_simrank
 from repro.core.walks import AlphaCache
@@ -127,6 +128,12 @@ _FILTER_STREAM = 2
 #: the exact walk extension returns have no cheap byte size, but their entry
 #: count tracks their footprint closely.
 DEFAULT_TRANSITION_CACHE_STATES = 250_000
+
+#: Approximate bytes per stored transition-cache state, used only so the
+#: uniform ``cache_stats()`` shape can report a comparable ``bytes`` figure:
+#: one dict slot (key + value references + hash-table overhead) plus the
+#: boxed vertex and float, measured empirically at ~96 B on CPython 3.11.
+TRANSITION_STATE_BYTES = 96
 
 
 class TransitionCache:
@@ -201,6 +208,21 @@ class TransitionCache:
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+            }
+
+    def cache_stats(self) -> Dict[str, int]:
+        """The uniform ``{hits, misses, evictions, bytes}`` cache shape.
+
+        ``bytes`` is estimated from the state budget (the cache's native
+        unit) at :data:`TRANSITION_STATE_BYTES` per state, so the three
+        serving caches report comparable figures.
+        """
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "bytes": self._states * TRANSITION_STATE_BYTES,
             }
 
 
@@ -476,6 +498,15 @@ class MethodExecutor:
     ``rng`` is only consulted by the scalar ``"python"`` reference backend
     (per-pair, stateful); every ``"vectorized"`` path is fully keyed off the
     snapshot and needs no generator.
+
+    ``obs_scope`` is the executor's observability hook: a
+    :class:`repro.obs.StageScope` (or the no-op :data:`repro.obs.NULL_SCOPE`
+    default) that times the method's internal stages — ``shared_prefix``
+    (batched exact transition distributions), ``walk_sampling`` (bundle
+    resolution), ``meeting_tails`` (Monte-Carlo meeting estimation) and
+    ``propagation`` (SR-SP packed tables) — into latency histograms and, when
+    the caller bound query traces to the scope, into per-query spans.  The
+    service rebinds it per batch subset; standalone engines never touch it.
     """
 
     method: ClassVar[str] = ""
@@ -488,6 +519,7 @@ class MethodExecutor:
     ) -> None:
         self.snapshot = snapshot
         self.rng = rng
+        self.obs_scope = NULL_SCOPE
         # Per-executor shared prefix work: single-source transition
         # distributions keyed by (endpoint, steps, max_states).
         self._distributions: Dict[tuple, List[Dict[Vertex, float]]] = {}
@@ -562,30 +594,31 @@ class MethodExecutor:
         """
         caches = self.snapshot.caches
         out: Dict[Vertex, List[Dict[Vertex, float]]] = {}
-        for endpoint in endpoints:
-            if endpoint in out:
-                continue
-            key = (endpoint, steps, max_states)
-            distributions = self._distributions.get(key)
-            if distributions is None:
-                # Batch-local miss: consult the snapshot's cross-batch LRU
-                # before paying for a walk-extension run.  Entries are
-                # shared read-only, so handing out the same list to many
-                # executors is safe.
-                shared = getattr(caches, "transitions", None)
-                distributions = shared.get(key) if shared is not None else None
+        with self.obs_scope.stage("shared_prefix"):
+            for endpoint in endpoints:
+                if endpoint in out:
+                    continue
+                key = (endpoint, steps, max_states)
+                distributions = self._distributions.get(key)
                 if distributions is None:
-                    distributions = single_source_transition_probabilities(
-                        caches.view,
-                        endpoint,
-                        steps,
-                        max_states=max_states,
-                        alpha_cache=caches.alpha_cache,
-                    )
-                    if shared is not None:
-                        shared.put(key, distributions)
-                self._distributions[key] = distributions
-            out[endpoint] = distributions
+                    # Batch-local miss: consult the snapshot's cross-batch LRU
+                    # before paying for a walk-extension run.  Entries are
+                    # shared read-only, so handing out the same list to many
+                    # executors is safe.
+                    shared = getattr(caches, "transitions", None)
+                    distributions = shared.get(key) if shared is not None else None
+                    if distributions is None:
+                        distributions = single_source_transition_probabilities(
+                            caches.view,
+                            endpoint,
+                            steps,
+                            max_states=max_states,
+                            alpha_cache=caches.alpha_cache,
+                        )
+                        if shared is not None:
+                            shared.put(key, distributions)
+                    self._distributions[key] = distributions
+                out[endpoint] = distributions
         return out
 
     def _resolve_bundles(
@@ -606,7 +639,9 @@ class MethodExecutor:
             needs.append((u_index, False, walks))
             needs.append((v_index, u_index == v_index, walks))
             index_pairs.append((u_index, v_index))
-        return index_pairs, source.resolve(csr, self.snapshot.iterations, needs)
+        with self.obs_scope.stage("walk_sampling"):
+            bundles = source.resolve(csr, self.snapshot.iterations, needs)
+        return index_pairs, bundles
 
     def _sampled_meetings(
         self, pairs: Sequence[Tuple[Vertex, Vertex]], walks: int
@@ -620,38 +655,39 @@ class MethodExecutor:
         iterations = self.snapshot.iterations
         index_pairs, bundles = self._resolve_bundles(pairs, walks)
         meetings: List[Optional[List[float]]] = [None] * len(pairs)
-        grouped: Dict[int, List[int]] = {}
-        for position, (u_index, v_index) in enumerate(index_pairs):
-            if u_index == v_index:
-                meetings[position] = meeting_probabilities_from_matrices(
+        with self.obs_scope.stage("meeting_tails"):
+            grouped: Dict[int, List[int]] = {}
+            for position, (u_index, v_index) in enumerate(index_pairs):
+                if u_index == v_index:
+                    meetings[position] = meeting_probabilities_from_matrices(
+                        bundles[(u_index, False, walks)],
+                        bundles[(v_index, True, walks)],
+                        iterations,
+                        True,
+                    )
+                else:
+                    grouped.setdefault(u_index, []).append(position)
+            for u_index, positions in grouped.items():
+                if len(positions) == 1:
+                    position = positions[0]
+                    v_index = index_pairs[position][1]
+                    meetings[position] = meeting_probabilities_from_matrices(
+                        bundles[(u_index, False, walks)],
+                        bundles[(v_index, False, walks)],
+                        iterations,
+                        False,
+                    )
+                    continue
+                tails = meeting_probabilities_against_many(
                     bundles[(u_index, False, walks)],
-                    bundles[(v_index, True, walks)],
+                    [
+                        bundles[(index_pairs[position][1], False, walks)]
+                        for position in positions
+                    ],
                     iterations,
-                    True,
                 )
-            else:
-                grouped.setdefault(u_index, []).append(position)
-        for u_index, positions in grouped.items():
-            if len(positions) == 1:
-                position = positions[0]
-                v_index = index_pairs[position][1]
-                meetings[position] = meeting_probabilities_from_matrices(
-                    bundles[(u_index, False, walks)],
-                    bundles[(v_index, False, walks)],
-                    iterations,
-                    False,
-                )
-                continue
-            tails = meeting_probabilities_against_many(
-                bundles[(u_index, False, walks)],
-                [
-                    bundles[(index_pairs[position][1], False, walks)]
-                    for position in positions
-                ],
-                iterations,
-            )
-            for position, row in zip(positions, tails):
-                meetings[position] = [0.0] + row.tolist()
+                for position, row in zip(positions, tails):
+                    meetings[position] = [0.0] + row.tolist()
         return meetings  # type: ignore[return-value]
 
     def _result(
@@ -903,12 +939,13 @@ class SpeedupExecutor(TwoPhaseExecutor):
                 tables[key] = cached
             return cached
 
-        return [
-            packed_meeting_probabilities(
-                table(u, 0, filters_u), table(v, 1, filters_v), processes, u, v
-            )
-            for u, v in pairs
-        ]
+        with self.obs_scope.stage("propagation"):
+            return [
+                packed_meeting_probabilities(
+                    table(u, 0, filters_u), table(v, 1, filters_v), processes, u, v
+                )
+                for u, v in pairs
+            ]
 
 
 #: The executor registry, in the paper's method order.

@@ -66,6 +66,7 @@ from typing import Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.core.batch_walks import NO_VERTEX, _splitmix64
+from repro.obs import NULL_SCOPE
 from repro.utils.errors import InvalidParameterError
 
 Vertex = Hashable
@@ -335,6 +336,16 @@ class TopKIndexStore:
                 "build_ms_total": self.build_ms_total,
             }
 
+    def cache_stats(self) -> Dict[str, int]:
+        """The uniform ``{hits, misses, evictions, bytes}`` cache shape."""
+        with self._lock:
+            return {
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "bytes": self._bytes,
+            }
+
 
 class TopKIndex:
     """Per-snapshot bound oracle for one ``(method, num_walks, prefix)``.
@@ -572,6 +583,7 @@ def pruned_rank(
     k: int,
     overrides: Optional[Dict[str, object]] = None,
     rescore_chunk: Optional[int] = None,
+    obs=NULL_SCOPE,
 ) -> Tuple[List[Tuple[int, object]], int]:
     """Rank the top ``k`` of ``pairs`` by exact score, pruning on bounds.
 
@@ -585,13 +597,19 @@ def pruned_rank(
     best score can never enter the result (their exact score is at most
     the bound), and equal-bound candidates are still rescored, so exact
     ties keep their submission-order ranking.
+
+    ``obs`` is a :class:`repro.obs.StageScope`: the bound-order sort and
+    each chunk's threshold cut are timed as ``index_prune``, each exact
+    rescore batch as ``index_rescore`` (executor-internal stages nest
+    inside it on any bound traces).
     """
     if k <= 0:
         raise InvalidParameterError(f"k must be positive, got {k}")
     total = len(pairs)
     if total == 0:
         return [], 0
-    order = np.argsort(-bounds, kind="stable")
+    with obs.stage("index_prune"):
+        order = np.argsort(-bounds, kind="stable")
     chunk = rescore_chunk if rescore_chunk else max(32, 2 * k)
     heap: List[Tuple[float, int]] = []
     results: Dict[int, object] = {}
@@ -602,15 +620,19 @@ def pruned_rank(
         batch = order[position : position + chunk]
         exhausted = False
         if len(heap) >= k:
-            kth = heap[0][0]
-            batch_bounds = bounds[batch]
-            keep = int(np.searchsorted(-batch_bounds, -kth, side="right"))
+            with obs.stage("index_prune"):
+                kth = heap[0][0]
+                batch_bounds = bounds[batch]
+                keep = int(np.searchsorted(-batch_bounds, -kth, side="right"))
             if keep < len(batch):
                 batch = batch[:keep]
                 exhausted = True
             if len(batch) == 0:
                 break
-        scored = executor.run_batch([pairs[int(p)] for p in batch], dict(overrides))
+        with obs.stage("index_rescore"):
+            scored = executor.run_batch(
+                [pairs[int(p)] for p in batch], dict(overrides)
+            )
         for pair_position, result in zip(batch, scored):
             rescored += 1
             item = (result.score, -int(pair_position))
@@ -635,6 +657,7 @@ def pruned_top_k_vertex(
     candidates: Sequence[Vertex],
     k: int,
     overrides: Optional[Dict[str, object]] = None,
+    obs=NULL_SCOPE,
 ) -> Tuple[List[Tuple[Vertex, object]], PruneStats]:
     """Top-k most similar candidates to ``query``, pruned then rescored."""
     csr = index.csr
@@ -644,9 +667,10 @@ def pruned_top_k_vertex(
         dtype=np.int64,
         count=len(candidates),
     )
-    bounds = index.bounds_for_vertex(query_index, candidate_indices)
+    with obs.stage("index_bound", {"candidates": len(candidates)}):
+        bounds = index.bounds_for_vertex(query_index, candidate_indices)
     pairs = [(query, candidate) for candidate in candidates]
-    ranked, rescored = pruned_rank(executor, pairs, bounds, k, overrides)
+    ranked, rescored = pruned_rank(executor, pairs, bounds, k, overrides, obs=obs)
     stats = PruneStats(len(candidates), rescored, index.build_ms)
     return [(candidates[position], result) for position, result in ranked], stats
 
@@ -657,6 +681,7 @@ def pruned_top_k_pairs(
     pairs: Sequence[Tuple[Vertex, Vertex]],
     k: int,
     overrides: Optional[Dict[str, object]] = None,
+    obs=NULL_SCOPE,
 ) -> Tuple[List[Tuple[Tuple[Vertex, Vertex], object]], PruneStats]:
     """Top-k highest scoring of ``pairs``, pruned then rescored."""
     csr = index.csr
@@ -666,7 +691,8 @@ def pruned_top_k_pairs(
     v_indices = np.fromiter(
         (csr.index_of(v) for _, v in pairs), dtype=np.int64, count=len(pairs)
     )
-    bounds = index.bounds_for_pairs(u_indices, v_indices)
-    ranked, rescored = pruned_rank(executor, pairs, bounds, k, overrides)
+    with obs.stage("index_bound", {"candidates": len(pairs)}):
+        bounds = index.bounds_for_pairs(u_indices, v_indices)
+    ranked, rescored = pruned_rank(executor, pairs, bounds, k, overrides, obs=obs)
     stats = PruneStats(len(pairs), rescored, index.build_ms)
     return [(pairs[position], result) for position, result in ranked], stats

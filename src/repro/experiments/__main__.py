@@ -6,7 +6,7 @@ Usage::
 
 where ``<experiment>`` is one of ``datasets``, ``measures``, ``convergence``,
 ``efficiency``, ``accuracy``, ``param-n``, ``scalability``, ``service``,
-``tenancy``, ``epoch``, ``methods``, ``topk_index``, ``case-ppi``,
+``tenancy``, ``epoch``, ``methods``, ``topk_index``, ``obs``, ``case-ppi``,
 ``case-er`` or ``all``.  ``--quick`` shrinks the workload (fewer pairs,
 smaller sample sizes) so a full pass finishes in a couple of minutes.
 """
@@ -33,6 +33,7 @@ from repro.experiments.efficiency import format_efficiency_results, run_efficien
 from repro.experiments.epoch import format_epoch_results, run_epoch_experiment
 from repro.experiments.measures import format_measures_results, run_measures_experiment
 from repro.experiments.methods import format_methods_results, run_methods_experiment
+from repro.experiments.obs import format_obs_results, run_obs_experiment
 from repro.experiments.param_n import format_param_n_results, run_param_n_experiment
 from repro.experiments.report import format_dataset_summary
 from repro.experiments.scalability import (
@@ -144,6 +145,17 @@ def _run_tenancy(quick: bool) -> str:
     return format_tenancy_results(result)
 
 
+def _run_obs(quick: bool) -> str:
+    result = run_obs_experiment(
+        num_vertices=200 if quick else 300,
+        num_edges=800 if quick else 1200,
+        num_queries=20 if quick else 40,
+        num_walks=150 if quick else 200,
+        repeats=3 if quick else 5,
+    )
+    return format_obs_results(result)
+
+
 def _run_topk_index(quick: bool) -> str:
     results = run_topk_index_experiment(
         edge_counts=(1500,) if quick else (1500, 4500, 7500),
@@ -185,6 +197,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "epoch": _run_epoch,
     "methods": _run_methods,
     "topk_index": _run_topk_index,
+    "obs": _run_obs,
     "case-ppi": _run_case_ppi,
     "case-er": _run_case_er,
 }

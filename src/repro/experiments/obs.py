@@ -1,0 +1,221 @@
+"""Observability-overhead experiment: what does instrumentation cost?
+
+PR 7 threaded a metrics registry and query-scoped tracing through the whole
+serving stack (dispatcher, read pool, writer, executors, top-k index).  The
+contract is that the instrumentation is effectively free: with metrics
+*disabled* the registry hands out shared null singletons (no allocation, no
+locks at the instrumentation sites), and with tracing off no trace objects
+exist at all — so the instrumented service must run the same workload
+within a few percent of an uninstrumented build.
+
+This experiment measures exactly that.  One deterministic workload (an
+R-MAT graph, a mixed stream of pair and top-k queries) runs through three
+service configurations sharing one seed:
+
+* ``disabled`` — :meth:`repro.obs.Observability.disabled`; the baseline.
+* ``metrics``  — the default :class:`~repro.obs.Observability` (registry
+  on, tracing off): what every service runs in production.
+* ``tracing``  — metrics plus per-query trace spans collected into an
+  in-memory sink (what ``--trace-out`` does, minus file I/O).
+
+Each configuration runs the workload ``repeats`` times and keeps the best
+wall time (min-of-N filters scheduler noise, the same protocol the
+benchmark suite uses).  Scores are checked bit-identical across all three
+modes — instrumentation must never touch the answers — and the tracing run
+reports how many span events the workload produced.
+
+Run it from the CLI with ``python -m repro.experiments obs [--quick]``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.report import format_table
+from repro.graph.generators import rmat_uncertain
+from repro.obs import Observability
+from repro.service.service import PairQuery, SimilarityService, TopKVertexQuery
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class ObsModeRun:
+    """One observability configuration's cost on the shared workload."""
+
+    mode: str
+    queries: int
+    best_wall_ms: float
+    mean_wall_ms: float
+    overhead_pct: float  #: relative to the ``disabled`` baseline's best time
+    trace_events: int  #: span + trace events emitted (0 unless tracing)
+    bit_identical: bool  #: answers match the baseline exactly
+
+
+@dataclass
+class ObsResult:
+    """All mode runs plus the registry view of the final (tracing) run."""
+
+    runs: List[ObsModeRun]
+    stage_histograms: Dict[str, Dict[str, float]]
+
+
+def _build_workload(
+    num_vertices: int, num_edges: int, num_queries: int, seed: int
+):
+    rng = ensure_rng(seed)
+    graph = rmat_uncertain(num_vertices, num_edges, rng=rng, prob_low=0.2, prob_high=0.9)
+    vertices = sorted(graph.vertices())
+    queries = []
+    for index in range(num_queries):
+        u = vertices[int(rng.integers(0, len(vertices)))]
+        v = vertices[int(rng.integers(0, len(vertices)))]
+        if index % 3 == 2:
+            queries.append(TopKVertexQuery(u, 5))
+        else:
+            queries.append(PairQuery(u, v))
+    return graph, queries
+
+
+def _run_once(
+    graph, queries, num_walks: int, seed: int, obs_factory
+) -> Tuple[float, List[object], int]:
+    """One fresh service over the workload: wall ms, answers, trace events."""
+    obs, sink = obs_factory()
+    answers: List[object] = []
+    with SimilarityService(
+        graph,
+        num_walks=num_walks,
+        seed=seed,
+        batch_wait_seconds=0.0005,
+        obs=obs,
+    ) as service:
+        started = time.perf_counter()
+        futures = [service.submit(query) for query in queries]
+        for future in futures:
+            answers.append(future.result())
+        wall = 1000.0 * (time.perf_counter() - started)
+    return wall, answers, len(sink) if sink is not None else 0
+
+
+def _scores(answers) -> List[Tuple]:
+    flat: List[Tuple] = []
+    for answer in answers:
+        score = getattr(answer, "score", None)
+        if score is not None:
+            flat.append(("pair", score))
+        else:
+            flat.append(("topk", tuple((vertex, value) for vertex, value in answer)))
+    return flat
+
+
+def run_obs_experiment(
+    num_vertices: int = 300,
+    num_edges: int = 1200,
+    num_queries: int = 40,
+    num_walks: int = 200,
+    seed: int = 7,
+    repeats: int = 5,
+) -> ObsResult:
+    """Measure the serving overhead of metrics and tracing on one workload."""
+    graph, queries = _build_workload(num_vertices, num_edges, num_queries, seed)
+
+    def disabled():
+        return Observability.disabled(), None
+
+    def metrics_only():
+        return Observability(), None
+
+    last_obs: List[Observability] = []
+
+    def tracing():
+        sink: List[dict] = []
+        obs = Observability(metrics=True, tracing=True, trace_sink=sink.append)
+        last_obs.append(obs)
+        return obs, sink
+
+    modes = (("disabled", disabled), ("metrics", metrics_only), ("tracing", tracing))
+    # Interleave the repeats round-robin: slow drift (CPU frequency, page
+    # cache warm-up) then hits every mode equally instead of biasing
+    # whichever mode happened to run first.  One untimed warm-up round
+    # absorbs import/thread-spawn costs entirely.
+    _run_once(graph, queries, num_walks, seed, disabled)
+    walls: Dict[str, List[float]] = {mode: [] for mode, _ in modes}
+    scores_by_mode: Dict[str, List[Tuple]] = {}
+    events_by_mode: Dict[str, int] = {}
+    for _ in range(repeats):
+        for mode, factory in modes:
+            wall, answers, events = _run_once(graph, queries, num_walks, seed, factory)
+            walls[mode].append(wall)
+            scores_by_mode[mode] = _scores(answers)
+            events_by_mode[mode] = events
+
+    runs: List[ObsModeRun] = []
+    baseline_best = min(walls["disabled"])
+    baseline_scores = scores_by_mode["disabled"]
+    for mode, _ in modes:
+        best = min(walls[mode])
+        runs.append(
+            ObsModeRun(
+                mode=mode,
+                queries=len(queries),
+                best_wall_ms=best,
+                mean_wall_ms=sum(walls[mode]) / len(walls[mode]),
+                overhead_pct=100.0 * (best / baseline_best - 1.0),
+                trace_events=events_by_mode[mode],
+                bit_identical=scores_by_mode[mode] == baseline_scores,
+            )
+        )
+
+    stage_histograms: Dict[str, Dict[str, float]] = {}
+    if last_obs:
+        snapshot = last_obs[-1].metrics.snapshot()
+        for name, summary in sorted(snapshot["histograms"].items()):
+            if name.startswith(("stage_ms.", "service.")):
+                stage_histograms[name] = summary
+    return ObsResult(runs=runs, stage_histograms=stage_histograms)
+
+
+def format_obs_results(result: ObsResult) -> str:
+    headers = (
+        "mode",
+        "queries",
+        "best ms",
+        "mean ms",
+        "overhead %",
+        "trace events",
+        "bit-identical",
+    )
+    rows = [
+        (
+            run.mode,
+            run.queries,
+            run.best_wall_ms,
+            run.mean_wall_ms,
+            run.overhead_pct,
+            run.trace_events,
+            "yes" if run.bit_identical else "NO",
+        )
+        for run in result.runs
+    ]
+    lines = [format_table(headers, rows, precision=2)]
+    if result.stage_histograms:
+        lines.append("")
+        lines.append("latency histograms of the traced run (ms):")
+        hist_rows = []
+        for name, summary in result.stage_histograms.items():
+            hist_rows.append(
+                (
+                    name,
+                    summary.get("count", 0),
+                    summary.get("mean", 0.0),
+                    summary.get("p50", 0.0),
+                    summary.get("p95", 0.0),
+                    summary.get("max", 0.0),
+                )
+            )
+        lines.append(
+            format_table(("histogram", "count", "mean", "p50", "p95", "max"), hist_rows, precision=3)
+        )
+    return "\n".join(lines)

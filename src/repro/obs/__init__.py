@@ -1,0 +1,35 @@
+"""repro.obs — metrics registry, query-scoped tracing, profiling hooks.
+
+A leaf package: it imports nothing from ``repro.core`` or
+``repro.service`` so any layer (core executors, the top-k index, the
+service, the runner) can depend on it without cycles.  See
+``docs/OBSERVABILITY.md`` for the metric catalog and trace event schema.
+"""
+
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    DEFAULT_LATENCY_BUCKETS_MS,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_HISTOGRAM,
+)
+from .tracing import NULL_SCOPE, Observability, QueryTrace, StageScope, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+    "NULL_SCOPE",
+    "Observability",
+    "QueryTrace",
+    "StageScope",
+    "Tracer",
+]

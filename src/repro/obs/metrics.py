@@ -1,0 +1,346 @@
+"""Thread-safe metrics registry: counters, gauges, latency histograms.
+
+The serving stack (dispatcher, read pool, single-writer ingest, method
+executors, top-k index) previously exposed its runtime behaviour through
+one flat ``service_stats()`` dict and a handful of ad-hoc
+``time.perf_counter`` calls.  This module gives every layer one shared
+vocabulary instead:
+
+* :class:`Counter` — a monotone event tally (``queries``, ``evictions``).
+* :class:`Gauge` — an instantaneous level (queue depths, pool backlog),
+  with ``inc``/``dec`` for maintained levels, ``set`` for sampled ones and
+  ``set_max`` for high-water marks.
+* :class:`Histogram` — fixed-bucket latency distributions.  Buckets are
+  geometric in milliseconds (``0.01 ms … 60 s``); :meth:`Histogram.summary`
+  reports count / total / mean / max plus p50, p95 and p99 estimated from
+  the bucket counts, which is what QoS work (admission control, adaptive
+  fidelity) acts on.
+* :class:`MetricsRegistry` — the name → instrument table.  Instruments are
+  created on first use and shared thereafter; :meth:`MetricsRegistry.snapshot`
+  returns one JSON-friendly dict of everything, including registered
+  callback gauges (read lazily, e.g. ``queue.qsize``).
+
+**Disabled mode is free.**  A registry built with ``enabled=False`` hands
+out module-level null singletons (:data:`NULL_COUNTER`, :data:`NULL_GAUGE`,
+:data:`NULL_HISTOGRAM`) whose mutators are empty methods — no per-call
+allocation, no locks, no branches at the instrumentation site.  Code
+instruments unconditionally and the registry decides the cost.
+
+All real instruments take a small per-instrument lock, so the dispatcher,
+the read pool, the writer thread and any number of stats pollers may race
+freely; counters are monotone over the instrument's lifetime.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from typing import Callable, Dict, Sequence, Tuple
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_MS",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_HISTOGRAM",
+]
+
+#: Geometric latency buckets in milliseconds: 10 µs up to one minute, then
+#: an implicit overflow bucket.  Wide enough for a queue-wait tick and a
+#: cold index build alike.
+DEFAULT_LATENCY_BUCKETS_MS: Tuple[float, ...] = (
+    0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 25.0, 50.0,
+    100.0, 250.0, 500.0, 1000.0, 2500.0, 5000.0,
+    10000.0, 30000.0, 60000.0,
+)
+
+#: Percentiles reported by :meth:`Histogram.summary`.
+SUMMARY_PERCENTILES: Tuple[float, ...] = (0.50, 0.95, 0.99)
+
+
+class Counter:
+    """A monotone event counter."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._value = 0
+        self._lock = threading.Lock()
+
+    def inc(self, amount: int = 1) -> None:
+        """Add ``amount`` (default 1) to the counter."""
+        with self._lock:
+            self._value += amount
+
+    def get(self) -> int:
+        """The current tally."""
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name!r}, {self.get()})"
+
+
+class Gauge:
+    """An instantaneous level: maintained (inc/dec), sampled (set), or max."""
+
+    __slots__ = ("name", "_value", "_lock")
+
+    def __init__(self, name: str = "") -> None:
+        self.name = name
+        self._value = 0.0
+        self._lock = threading.Lock()
+
+    def set(self, value: float) -> None:
+        """Overwrite the level with a freshly sampled value."""
+        with self._lock:
+            self._value = value
+
+    def set_max(self, value: float) -> None:
+        """Raise the level to ``value`` if it is higher (high-water mark)."""
+        with self._lock:
+            if value > self._value:
+                self._value = value
+
+    def inc(self, amount: float = 1) -> None:
+        """Raise a maintained level (e.g. work entered a queue)."""
+        with self._lock:
+            self._value += amount
+
+    def dec(self, amount: float = 1) -> None:
+        """Lower a maintained level (e.g. work left a queue)."""
+        with self._lock:
+            self._value -= amount
+
+    def get(self) -> float:
+        """The current level."""
+        with self._lock:
+            return self._value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name!r}, {self.get()})"
+
+
+class Histogram:
+    """A fixed-bucket distribution with percentile summaries.
+
+    ``bounds`` are inclusive upper bucket edges; observations above the last
+    bound land in an implicit overflow bucket whose reported percentile
+    value is the observed maximum.  Bucket placement is a single
+    ``bisect``, so observing is O(log buckets) under one small lock.
+    """
+
+    __slots__ = ("name", "_bounds", "_counts", "_count", "_total", "_min", "_max", "_lock")
+
+    def __init__(
+        self, name: str = "", bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS
+    ) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError(f"histogram bounds must be sorted and non-empty: {bounds!r}")
+        self.name = name
+        self._bounds = tuple(float(bound) for bound in bounds)
+        self._counts = [0] * (len(self._bounds) + 1)
+        self._count = 0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        """Record one observation (for latency metrics: milliseconds)."""
+        position = bisect_left(self._bounds, value)
+        with self._lock:
+            self._counts[position] += 1
+            self._count += 1
+            self._total += value
+            if value < self._min:
+                self._min = value
+            if value > self._max:
+                self._max = value
+
+    @property
+    def count(self) -> int:
+        with self._lock:
+            return self._count
+
+    def percentile(self, fraction: float) -> float:
+        """The upper edge of the bucket holding the ``fraction`` quantile.
+
+        An upper-edge estimate is deliberately conservative for latency SLOs
+        (the true quantile is never above the reported value by more than
+        one bucket width); the overflow bucket reports the observed max.
+        """
+        with self._lock:
+            return self._percentile_locked(fraction)
+
+    def _percentile_locked(self, fraction: float) -> float:
+        if self._count == 0:
+            return 0.0
+        rank = fraction * self._count
+        cumulative = 0
+        for position, bucket_count in enumerate(self._counts):
+            cumulative += bucket_count
+            if cumulative >= rank and bucket_count:
+                if position < len(self._bounds):
+                    return min(self._bounds[position], self._max)
+                return self._max
+        return self._max
+
+    def summary(self) -> Dict[str, float]:
+        """count / total / mean / min / max plus p50, p95, p99."""
+        with self._lock:
+            if self._count == 0:
+                return {"count": 0}
+            out: Dict[str, float] = {
+                "count": self._count,
+                "total": self._total,
+                "mean": self._total / self._count,
+                "min": self._min,
+                "max": self._max,
+            }
+            for fraction in SUMMARY_PERCENTILES:
+                out[f"p{int(fraction * 100)}"] = self._percentile_locked(fraction)
+            return out
+
+    def __repr__(self) -> str:
+        return f"Histogram({self.name!r}, n={self.count})"
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind (disabled registries).
+
+    One module-level instance per kind is handed out to every caller, so a
+    disabled registry's instrumentation path allocates nothing and takes no
+    locks — the "zero-cost when off" contract of the obs subsystem.
+    """
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1) -> None:
+        pass
+
+    def dec(self, amount: float = 1) -> None:
+        pass
+
+    def set(self, value: float) -> None:
+        pass
+
+    def set_max(self, value: float) -> None:
+        pass
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def get(self) -> float:
+        return 0
+
+    def percentile(self, fraction: float) -> float:
+        return 0.0
+
+    def summary(self) -> Dict[str, float]:
+        return {"count": 0}
+
+    @property
+    def count(self) -> int:
+        return 0
+
+
+NULL_COUNTER = _NullInstrument()
+NULL_GAUGE = _NullInstrument()
+NULL_HISTOGRAM = _NullInstrument()
+
+
+class MetricsRegistry:
+    """Name → instrument table shared by every layer of one service.
+
+    ``counter`` / ``gauge`` / ``histogram`` get-or-create under one
+    registry lock and return the live instrument; instrumentation sites
+    typically resolve their instruments once (at construction) and then
+    mutate them lock-free of the registry.  With ``enabled=False`` every
+    accessor returns the shared null singletons instead — see module notes.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = bool(enabled)
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._callbacks: Dict[str, Callable[[], float]] = {}
+
+    # -- instrument access -----------------------------------------------------
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_COUNTER  # type: ignore[return-value]
+        with self._lock:
+            instrument = self._counters.get(name)
+            if instrument is None:
+                instrument = self._counters[name] = Counter(name)
+            return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_GAUGE  # type: ignore[return-value]
+        with self._lock:
+            instrument = self._gauges.get(name)
+            if instrument is None:
+                instrument = self._gauges[name] = Gauge(name)
+            return instrument
+
+    def histogram(
+        self, name: str, bounds: Sequence[float] = DEFAULT_LATENCY_BUCKETS_MS
+    ) -> Histogram:
+        """The histogram registered under ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_HISTOGRAM  # type: ignore[return-value]
+        with self._lock:
+            instrument = self._histograms.get(name)
+            if instrument is None:
+                instrument = self._histograms[name] = Histogram(name, bounds)
+            return instrument
+
+    def register_callback(self, name: str, read: Callable[[], float]) -> None:
+        """Register a lazily read gauge (polled only at snapshot time).
+
+        The natural fit for levels another object already maintains —
+        ``queue.qsize``, a pool's backlog counter — where pushing every
+        transition through a :class:`Gauge` would double the bookkeeping.
+        """
+        if not self.enabled:
+            return
+        with self._lock:
+            self._callbacks[name] = read
+
+    # -- introspection ---------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """One JSON-friendly dict of every instrument's current state.
+
+        Callback gauges that raise report ``None`` rather than poisoning
+        the snapshot (a closed pool's queue may be gone by poll time).
+        """
+        with self._lock:
+            counters = list(self._counters.items())
+            gauges = list(self._gauges.items())
+            histograms = list(self._histograms.items())
+            callbacks = list(self._callbacks.items())
+        gauge_values: Dict[str, object] = {name: gauge.get() for name, gauge in gauges}
+        for name, read in callbacks:
+            try:
+                gauge_values[name] = read()
+            except Exception:
+                gauge_values[name] = None
+        return {
+            "enabled": self.enabled,
+            "counters": {name: counter.get() for name, counter in counters},
+            "gauges": gauge_values,
+            "histograms": {name: hist.summary() for name, hist in histograms},
+        }

@@ -1,0 +1,328 @@
+"""Query-scoped trace spans for the serving stack.
+
+Every request admitted to the service gets a :class:`QueryTrace` — a
+process-unique trace id plus a tree of timed spans covering its life:
+dispatch-queue wait, batch coalescing, epoch pin, per-stage executor work
+(shared-prefix batch, walk sampling, SR-TS meeting tails, SR-SP
+propagation) and the top-k index bound / prune / rescore phases.  Traces
+are exported as JSONL events through the :class:`Tracer` sink (the runner's
+``--trace-out`` flag) and their id + total duration ride back on the query
+response.
+
+Design constraints that shaped the API:
+
+* **No thread-locals.**  A query crosses three threads (dispatcher →
+  read-pool worker → future resolution) and one executor ``run_batch``
+  serves many queries at once, so "current span" must travel *with the
+  work*, never with the thread.  Each :class:`QueryTrace` carries its own
+  explicit span stack, and :class:`StageScope` fans one timed stage out to
+  every trace sharing the batch.  Concurrent queries therefore cannot
+  interleave span attribution by construction.
+* **Disabled mode is free.**  With tracing off the service threads
+  ``None`` through the item plumbing and uses :data:`NULL_SCOPE`; no trace
+  objects, no clock reads.
+* **Crash-safe totals.**  :meth:`QueryTrace.finish` is idempotent and
+  closes any spans still open, so error paths and racy double-resolution
+  can never emit a half-open trace.
+
+Event schema (one JSON object per line; all times in milliseconds):
+
+``{"type": "span", "trace": <trace_id>, "id": <span_id>, "parent":
+<span_id|null>, "name": "...", "start_ms": <offset from trace start>,
+"dur_ms": <duration>, ...attrs}`` — one per completed span, then
+``{"type": "trace", "trace": <trace_id>, "op": "...", "total_ms": ...}``
+closing the trace.  Spans are emitted on completion, so a child span's
+line precedes its parent's.
+"""
+
+from __future__ import annotations
+
+import itertools
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence
+
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "Tracer",
+    "QueryTrace",
+    "StageScope",
+    "NULL_SCOPE",
+    "Observability",
+]
+
+
+class Tracer:
+    """Allocates trace ids and serialises finished events into a sink.
+
+    ``sink`` is any callable taking one JSON-friendly dict (the runner
+    wraps a file handle; tests collect into a list).  Emission happens
+    under one lock so concurrent traces never interleave half-written
+    lines.
+    """
+
+    def __init__(self, enabled: bool = True, sink: Optional[Callable[[Dict[str, Any]], None]] = None) -> None:
+        self.enabled = bool(enabled) and sink is not None
+        self._sink = sink
+        self._ids = itertools.count(1)
+        self._emit_lock = threading.Lock()
+
+    def begin(self, op: str) -> Optional["QueryTrace"]:
+        """A fresh trace for one request, or ``None`` when disabled."""
+        if not self.enabled:
+            return None
+        return QueryTrace(self, next(self._ids), op)
+
+    def _emit(self, event: Dict[str, Any]) -> None:
+        if self._sink is None:
+            return
+        with self._emit_lock:
+            self._sink(event)
+
+
+class QueryTrace:
+    """One request's span tree; owned by exactly one in-flight query.
+
+    The open-span stack lives on the trace itself, so whichever thread
+    currently holds the work may push/pop spans without any cross-query
+    coordination.  The trace's internal lock only defends against the one
+    real race: a worker finishing the trace while an error path does too.
+    """
+
+    __slots__ = ("tracer", "trace_id", "op", "started", "_events", "_stack", "_span_ids", "_total_ms", "_lock")
+
+    def __init__(self, tracer: Tracer, trace_id: int, op: str) -> None:
+        self.tracer = tracer
+        self.trace_id = trace_id
+        self.op = op
+        self.started = time.perf_counter()
+        self._events: List[Dict[str, Any]] = []
+        # Stack of (span_id, name, start_seconds, attrs) for open spans.
+        self._stack: List[tuple] = []
+        self._span_ids = itertools.count(1)
+        self._total_ms: Optional[float] = None
+        self._lock = threading.Lock()
+
+    # -- span recording --------------------------------------------------------
+
+    def add_span(
+        self,
+        name: str,
+        start: float,
+        end: float,
+        attrs: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record a completed span from explicit ``perf_counter`` stamps.
+
+        Used for intervals measured before the trace's worker gets the
+        item (dispatch-queue wait, coalescing) where a context manager
+        cannot wrap the code.
+        """
+        with self._lock:
+            if self._total_ms is not None:
+                return
+            parent = self._stack[-1][0] if self._stack else None
+            self._events.append(
+                self._span_event(next(self._span_ids), parent, name, start, end, attrs)
+            )
+
+    def open_span(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> None:
+        """Push an open span; children recorded until :meth:`close_span` nest under it."""
+        with self._lock:
+            if self._total_ms is not None:
+                return
+            self._stack.append((next(self._span_ids), name, time.perf_counter(), attrs))
+
+    def close_span(self) -> None:
+        """Pop and record the innermost open span."""
+        end = time.perf_counter()
+        with self._lock:
+            if self._total_ms is not None or not self._stack:
+                return
+            span_id, name, start, attrs = self._stack.pop()
+            parent = self._stack[-1][0] if self._stack else None
+            self._events.append(self._span_event(span_id, parent, name, start, end, attrs))
+
+    @contextmanager
+    def span(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> Iterator[None]:
+        """Time a block as a span nested under the current open span."""
+        self.open_span(name, attrs)
+        try:
+            yield
+        finally:
+            self.close_span()
+
+    def _span_event(
+        self,
+        span_id: int,
+        parent: Optional[int],
+        name: str,
+        start: float,
+        end: float,
+        attrs: Optional[Dict[str, Any]],
+    ) -> Dict[str, Any]:
+        event: Dict[str, Any] = {
+            "type": "span",
+            "trace": self.trace_id,
+            "id": span_id,
+            "parent": parent,
+            "name": name,
+            "start_ms": round(1000.0 * (start - self.started), 4),
+            "dur_ms": round(1000.0 * (end - start), 4),
+        }
+        if attrs:
+            event.update(attrs)
+        return event
+
+    # -- completion ------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        with self._lock:
+            return self._total_ms is not None
+
+    @property
+    def total_ms(self) -> Optional[float]:
+        """Total duration once finished, else ``None``."""
+        with self._lock:
+            return self._total_ms
+
+    def finish(self, attrs: Optional[Dict[str, Any]] = None) -> float:
+        """Close any open spans, emit all events, and return total ms.
+
+        Idempotent: only the first call emits; later calls (a worker and
+        an error path racing to resolve the same future) return the
+        already-recorded total.
+        """
+        end = time.perf_counter()
+        with self._lock:
+            if self._total_ms is not None:
+                return self._total_ms
+            while self._stack:
+                span_id, name, start, span_attrs = self._stack.pop()
+                parent = self._stack[-1][0] if self._stack else None
+                self._events.append(
+                    self._span_event(span_id, parent, name, start, end, span_attrs)
+                )
+            self._total_ms = round(1000.0 * (end - self.started), 4)
+            closing: Dict[str, Any] = {
+                "type": "trace",
+                "trace": self.trace_id,
+                "op": self.op,
+                "total_ms": self._total_ms,
+            }
+            if attrs:
+                closing.update(attrs)
+            events = self._events
+            self._events = []
+        for event in events:
+            self.tracer._emit(event)
+        self.tracer._emit(closing)
+        return closing["total_ms"]
+
+
+class StageScope:
+    """Times named stages once and attributes them to every bound trace.
+
+    Executor stages (shared-prefix batch, walk sampling, meeting tails,
+    propagation) and the index bound/prune/rescore phases run *once per
+    batch* on behalf of many queries.  A ``StageScope`` carries the batch's
+    traces plus the stage-latency histogram registry, so one ``with
+    scope.stage("walk_sampling"):`` both observes ``stage_ms.walk_sampling``
+    and opens/closes a correctly-nested span on each trace.  Core code
+    takes the scope as an optional collaborator and defaults to
+    :data:`NULL_SCOPE`, keeping ``repro.core`` usable without a service.
+    """
+
+    __slots__ = ("_metrics", "_traces")
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        traces: Sequence[QueryTrace] = (),
+    ) -> None:
+        self._metrics = metrics
+        self._traces = [trace for trace in traces if trace is not None]
+
+    @contextmanager
+    def stage(self, name: str, attrs: Optional[Dict[str, Any]] = None) -> Iterator[None]:
+        """Time a stage: one histogram observation, one span per trace."""
+        start = time.perf_counter()
+        for trace in self._traces:
+            trace.open_span(name, attrs)
+        try:
+            yield
+        finally:
+            for trace in self._traces:
+                trace.close_span()
+            if self._metrics is not None:
+                elapsed_ms = 1000.0 * (time.perf_counter() - start)
+                self._metrics.histogram(f"stage_ms.{name}").observe(elapsed_ms)
+
+
+class _NullScope:
+    """Shared do-nothing scope: no clock reads, no allocation per stage."""
+
+    __slots__ = ()
+
+    def stage(self, name: str, attrs: Optional[Dict[str, Any]] = None):
+        return _NULL_CM
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_CM = _NullContext()
+
+#: The scope used when neither metrics nor tracing are active.
+NULL_SCOPE = _NullScope()
+
+
+class Observability:
+    """The bundle a service carries: one registry + one tracer.
+
+    ``Observability()`` — metrics on, tracing off — is the service default;
+    ``Observability.disabled()`` turns everything off (benchmark baseline);
+    ``Observability(tracing=True, trace_sink=...)`` adds span export.
+    """
+
+    __slots__ = ("metrics", "tracer")
+
+    def __init__(
+        self,
+        metrics: bool = True,
+        tracing: bool = False,
+        trace_sink: Optional[Callable[[Dict[str, Any]], None]] = None,
+    ) -> None:
+        self.metrics = MetricsRegistry(enabled=metrics)
+        self.tracer = Tracer(enabled=tracing, sink=trace_sink)
+
+    @classmethod
+    def disabled(cls) -> "Observability":
+        """Everything off — the zero-overhead baseline."""
+        return cls(metrics=False, tracing=False)
+
+    @property
+    def active(self) -> bool:
+        """Whether any instrumentation is live."""
+        return self.metrics.enabled or self.tracer.enabled
+
+    def begin_trace(self, op: str) -> Optional[QueryTrace]:
+        """A trace for one request, or ``None`` when tracing is off."""
+        return self.tracer.begin(op)
+
+    def scope(self, traces: Sequence[Optional[QueryTrace]] = ()) -> Any:
+        """A :class:`StageScope` over ``traces``, or :data:`NULL_SCOPE` when idle."""
+        live = [trace for trace in traces if trace is not None]
+        if not live and not self.metrics.enabled:
+            return NULL_SCOPE
+        return StageScope(self.metrics if self.metrics.enabled else None, live)

@@ -129,6 +129,22 @@ class WalkBundleStore:
     def __len__(self) -> int:
         return len(self._entries)
 
+    def cache_stats(self) -> Dict[str, int]:
+        """The uniform ``{hits, misses, evictions, bytes}`` cache shape.
+
+        The shape shared by every serving cache (walk bundles, top-k index
+        artifacts, exact transition distributions) so dashboards can treat
+        them as one family; :attr:`stats` keeps the store's richer
+        invalidation/hit-rate view.
+        """
+        with self._lock:
+            return {
+                "hits": self._stats.hits,
+                "misses": self._stats.misses,
+                "evictions": self._stats.evictions,
+                "bytes": self._bytes,
+            }
+
     def peek(self, key: Hashable) -> bool:
         """Whether ``key`` is present, without touching LRU order or stats."""
         with self._lock:

@@ -38,6 +38,7 @@ Control requests::
              {"op": "update_probability", "u": "a", "v": "c", "probability": 0.7}]}
     {"op": "drop_graph", "graph": "g2"}
     {"op": "stats"}
+    {"op": "metrics"}
 
 ``create_graph`` accepts ``edges`` (``[u, v, probability]`` triples, applied
 as directed arcs), optional ``vertices`` (isolated vertices to pre-register)
@@ -47,7 +48,18 @@ and optional ``params`` overriding per-tenant engine configuration
 :class:`~repro.service.tenancy.MutationLog` batch: the tenant's graph
 version is bumped, only its cached bundles are dropped, and the CSR snapshot
 is patched incrementally.  ``stats`` returns the service's batching counters
-plus the per-tenant bundle-store hit/miss/eviction stats.
+plus the per-tenant bundle-store hit/miss/eviction stats.  ``metrics``
+returns the observability registry snapshot (counters / gauges / latency
+histogram summaries — see ``docs/OBSERVABILITY.md``).
+
+With ``--trace-out FILE`` every request is traced: span events (dispatch
+wait, batch coalescing, epoch pin, executor stages, index bound / prune /
+rescore) are appended to ``FILE`` as JSONL, and each query response gains
+``trace_id`` / ``trace_total_ms``.  The trace fields appear *only* under
+``--trace-out``, so the default response stream stays byte-stable.
+``--no-metrics`` turns the metrics registry off entirely (the zero-overhead
+baseline; ``stats`` still reports the batching counters' shape with a
+disabled registry snapshot).
 
 Responses mirror the request ``op``; a failed request yields
 ``{"op": ..., "error": "..."}`` without aborting the rest of the stream.
@@ -69,6 +81,7 @@ from typing import IO, List, Optional
 from repro.datasets.registry import load_dataset
 from repro.graph.io import read_edge_list
 from repro.graph.uncertain_graph import UncertainGraph, example_graph
+from repro.obs import Observability
 from repro.service.bundle_store import DEFAULT_BUDGET_BYTES
 from repro.service.service import (
     INGEST_MODES,
@@ -81,7 +94,7 @@ from repro.service.sharding import DEFAULT_SHARD_SIZE, EXECUTORS
 from repro.service.tenancy import MutationLog
 
 #: Request ops handled synchronously, as barriers between query runs.
-CONTROL_OPS = ("create_graph", "mutate", "drop_graph", "stats")
+CONTROL_OPS = ("create_graph", "mutate", "drop_graph", "stats", "metrics")
 
 
 def _build_graph(args: argparse.Namespace) -> UncertainGraph:
@@ -157,6 +170,11 @@ def _render_response(record: dict, query, outcome) -> dict:
             response.update(
                 epoch=details["epoch"], graph_version=details["graph_version"]
             )
+        if "trace_id" in details:
+            response.update(
+                trace_id=details["trace_id"],
+                trace_total_ms=details["trace_total_ms"],
+            )
     elif isinstance(query, TopKVertexQuery):
         response.update(
             query=query.query,
@@ -189,6 +207,14 @@ def _attach_epoch(response: dict, outcome) -> None:
             candidates_total=getattr(outcome, "candidates_total", None),
             candidates_rescored=rescored,
         )
+    # Present only when the service runs with tracing on (--trace-out), so
+    # the pinned default response stream is untouched.
+    trace_id = getattr(outcome, "trace_id", None)
+    if trace_id is not None:
+        response.update(
+            trace_id=trace_id,
+            trace_total_ms=getattr(outcome, "trace_total_ms", None),
+        )
 
 
 def _render_error(record: dict, error: object) -> dict:
@@ -203,6 +229,10 @@ def _run_control(service: SimilarityService, record: dict) -> dict:
     response = _base_response(record)
     if op == "stats":
         response["stats"] = service.service_stats()
+        return response
+    if op == "metrics":
+        response["metrics"] = service.obs.metrics.snapshot()
+        response["tracing"] = service.obs.tracer.enabled
         return response
     name = _require(record, "graph")
     if op == "create_graph":
@@ -308,6 +338,18 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
     parser.add_argument(
         "--stats", action="store_true", help="print service stats to stderr at the end"
     )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="trace every request: append span/trace JSONL events to FILE "
+        "and attach trace_id / trace_total_ms to query responses",
+    )
+    parser.add_argument(
+        "--no-metrics",
+        action="store_true",
+        help="disable the metrics registry entirely (zero-overhead baseline)",
+    )
     args = parser.parse_args(argv)
 
     try:
@@ -330,6 +372,23 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
             if args.topk_index_budget_mb == 0
             else int(args.topk_index_budget_mb * 1024 * 1024)
         )
+    trace_handle: Optional[IO[str]] = None
+    if args.trace_out is not None:
+        trace_handle = open(args.trace_out, "w", encoding="utf-8")
+
+        def trace_sink(event: dict) -> None:
+            # Tracer._emit serialises calls under its lock, so lines from
+            # concurrent read workers never interleave.
+            trace_handle.write(json.dumps(event) + "\n")
+
+    else:
+        trace_sink = None
+    obs = Observability(
+        metrics=not args.no_metrics,
+        tracing=trace_handle is not None,
+        trace_sink=trace_sink,
+    )
+
     responses: List[str] = []
     with SimilarityService(
         graph,
@@ -346,6 +405,7 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
         max_num_walks=args.max_num_walks,
         verify_mutations=args.verify_mutations,
         use_topk_index=not args.no_topk_index,
+        obs=obs,
         **index_kwargs,
     ) as service:
         # (record, query, future-or-error) triples of the current query run;
@@ -396,6 +456,11 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
 
         if args.stats:
             print(json.dumps(service.service_stats(), indent=2), file=stderr)
+
+    if trace_handle is not None:
+        # The service is closed (all traces finished and emitted) before the
+        # sink goes away.
+        trace_handle.close()
 
     text = "\n".join(responses) + ("\n" if responses else "")
     if args.output == "-":

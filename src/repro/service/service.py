@@ -61,6 +61,7 @@ import heapq
 import itertools
 import queue
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import wait as futures_wait
 from dataclasses import dataclass, field
@@ -89,6 +90,7 @@ from repro.core.topk_index import (
     snapshot_index,
 )
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.obs import Gauge, MetricsRegistry, Observability, QueryTrace
 from repro.service.bundle_store import DEFAULT_BUDGET_BYTES, WalkBundleStore
 from repro.service.epoch import EpochLease
 from repro.service.sharding import DEFAULT_SHARD_SIZE, ShardedWalkSampler
@@ -132,6 +134,8 @@ class TopKResult(list):
         "candidates_total",
         "candidates_rescored",
         "index_build_ms",
+        "trace_id",
+        "trace_total_ms",
     )
 
     def __init__(
@@ -151,6 +155,12 @@ class TopKResult(list):
         self.candidates_total = candidates_total
         self.candidates_rescored = candidates_rescored
         self.index_build_ms = index_build_ms
+        # Stamped by the service when tracing is on: which trace (and how
+        # long end to end) produced this answer.  Timings, so they never
+        # enter the pinned deterministic runner stream unless tracing was
+        # explicitly requested.
+        self.trace_id: Optional[int] = None
+        self.trace_total_ms: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -197,12 +207,42 @@ Query = Union[PairQuery, TopKPairsQuery, TopKVertexQuery]
 
 
 @dataclass
+class _QueryItem:
+    """One submitted query travelling the dispatch pipeline.
+
+    Carries its own trace (``None`` when tracing is off) and the clock
+    stamps the phase spans derive from.  Because the trace rides the item —
+    never a thread-local — span attribution is structurally per query: any
+    read worker may pick the item up and the spans still land on the right
+    trace.  ``finished`` guards the one race (a worker and an error path
+    both completing the query) so totals are observed exactly once.
+    """
+
+    query: Query
+    future: "Future"
+    trace: Optional[QueryTrace] = None
+    submitted: float = 0.0
+    dequeued: float = 0.0
+    finished: bool = False
+
+
+@dataclass
 class _MutationItem:
-    """A mutation-ingest work item routed to the writer."""
+    """A mutation-ingest work item routed to the writer.
+
+    ``future`` is the client's handle; ``barrier`` is the *internal* Future
+    later queries park on (see ``_barriers``).  They must be distinct:
+    submission is commitment, so a client cancelling its handle must not
+    release queries ordered behind the ingest before the writer has actually
+    published the new epoch.  Only the writer resolves the barrier.
+    """
 
     graph: str
     log: MutationLog
     future: "Future"
+    barrier: Optional["Future"] = None
+    trace: Optional[QueryTrace] = None
+    submitted: float = 0.0
 
 
 _SHUTDOWN = object()
@@ -228,48 +268,79 @@ class _QueryPlan:
     k: int = 0
 
 
-@dataclass
 class ServiceStats:
-    """Aggregate counters of one service instance.
+    """Aggregate counters of one service instance, backed by the registry.
 
-    All mutation happens through the ``record_*`` methods and all consistent
-    reads through :meth:`snapshot`, both under one internal lock — the
-    dispatcher, the writer thread, and any number of ``service_stats()``
-    pollers may race freely without torn reads.
+    Since PR 7 this is a *view* over :class:`repro.obs.MetricsRegistry`
+    instruments (``service.queries`` / ``service.batches`` /
+    ``service.mutations`` counters, the ``service.largest_batch``
+    high-water gauge, and one ``service.queries_by_kind.<Kind>`` counter
+    per query type) instead of a hand-rolled counter bag; :meth:`snapshot`
+    keeps the exact dict shape older clients read.  With metrics disabled
+    the instruments are the shared no-op singletons, so every count reads
+    as zero — the documented trade of ``Observability.disabled()``.
     """
 
-    queries: int = 0
-    batches: int = 0
-    largest_batch: int = 0
-    mutations: int = 0
-    queries_by_kind: Dict[str, int] = field(default_factory=dict)
-    _lock: threading.Lock = field(
-        default_factory=threading.Lock, repr=False, compare=False
-    )
+    def __init__(self, metrics: Optional[MetricsRegistry] = None) -> None:
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._queries = self._metrics.counter("service.queries")
+        self._batches = self._metrics.counter("service.batches")
+        self._mutations = self._metrics.counter("service.mutations")
+        self._largest_batch = self._metrics.gauge("service.largest_batch")
+        self._by_kind: Dict[str, object] = {}
+        self._lock = threading.Lock()
+
+    def _kind_counter(self, kind: str):
+        counter = self._by_kind.get(kind)
+        if counter is None:
+            with self._lock:
+                counter = self._by_kind.get(kind)
+                if counter is None:
+                    counter = self._metrics.counter(f"service.queries_by_kind.{kind}")
+                    self._by_kind[kind] = counter
+        return counter
 
     def record_batch(self, batch: Sequence[Query]) -> None:
-        with self._lock:
-            self.batches += 1
-            self.queries += len(batch)
-            self.largest_batch = max(self.largest_batch, len(batch))
-            for query in batch:
-                kind = type(query).__name__
-                self.queries_by_kind[kind] = self.queries_by_kind.get(kind, 0) + 1
+        self._batches.inc()
+        self._queries.inc(len(batch))
+        self._largest_batch.set_max(len(batch))
+        for query in batch:
+            self._kind_counter(type(query).__name__).inc()
 
     def record_mutation(self) -> None:
+        self._mutations.inc()
+
+    @property
+    def queries(self) -> int:
+        return int(self._queries.get())
+
+    @property
+    def batches(self) -> int:
+        return int(self._batches.get())
+
+    @property
+    def largest_batch(self) -> int:
+        return int(self._largest_batch.get())
+
+    @property
+    def mutations(self) -> int:
+        return int(self._mutations.get())
+
+    @property
+    def queries_by_kind(self) -> Dict[str, int]:
         with self._lock:
-            self.mutations += 1
+            kinds = list(self._by_kind.items())
+        return {kind: int(counter.get()) for kind, counter in kinds}
 
     def snapshot(self) -> Dict[str, object]:
-        """A consistent point-in-time copy of every counter."""
-        with self._lock:
-            return {
-                "queries": self.queries,
-                "batches": self.batches,
-                "largest_batch": self.largest_batch,
-                "mutations": self.mutations,
-                "queries_by_kind": dict(self.queries_by_kind),
-            }
+        """A point-in-time copy of every counter, in the PR-2 dict shape."""
+        return {
+            "queries": self.queries,
+            "batches": self.batches,
+            "largest_batch": self.largest_batch,
+            "mutations": self.mutations,
+            "queries_by_kind": self.queries_by_kind,
+        }
 
 
 class SimilarityService:
@@ -322,6 +393,13 @@ class SimilarityService:
     verify_mutations:
         Cross-check every incremental snapshot rebuild triggered by
         :meth:`mutate` against a full rebuild (slow; a correctness canary).
+    obs:
+        The :class:`repro.obs.Observability` bundle: metrics registry +
+        tracer.  Defaults to ``Observability()`` — metrics on, tracing off.
+        Pass ``Observability.disabled()`` for the zero-overhead baseline
+        (``service_stats`` counters then read as zero), or
+        ``Observability(tracing=True, trace_sink=...)`` to export per-query
+        JSONL trace spans (see docs/OBSERVABILITY.md).
 
     Use as a context manager (or call :meth:`close`) to stop the worker
     threads and the sampler pools.
@@ -348,6 +426,7 @@ class SimilarityService:
         verify_mutations: bool = False,
         use_topk_index: bool = True,
         topk_index_budget_bytes: Optional[int] = DEFAULT_INDEX_BUDGET_BYTES,
+        obs: Optional[Observability] = None,
     ) -> None:
         if max_batch_size < 1:
             raise InvalidParameterError(
@@ -401,8 +480,31 @@ class SimilarityService:
         self.read_workers = int(read_workers)
         self.ingest_mode = ingest_mode
         self.use_topk_index = bool(use_topk_index)
-        self.stats = ServiceStats()
+        self.obs = obs if obs is not None else Observability()
+        metrics = self.obs.metrics
+        self.stats = ServiceStats(metrics)
+        # Phase-latency histograms of the query pipeline.  With metrics
+        # disabled these are the shared no-op singletons, so the observe
+        # calls on the hot path cost nothing.
+        self._dispatch_wait_ms = metrics.histogram("service.dispatch_wait_ms")
+        self._coalesce_ms = metrics.histogram("service.coalesce_ms")
+        self._read_wait_ms = metrics.histogram("service.read_wait_ms")
+        self._epoch_pin_ms = metrics.histogram("service.epoch_pin_ms")
+        self._query_total_ms = metrics.histogram("service.query_total_ms")
+        self._mutation_total_ms = metrics.histogram("service.mutation_total_ms")
+        # Read-pool backlog: tasks handed to the pool but not yet started.
+        # Always a real gauge — even with metrics off — because
+        # ``service_stats()`` reports it unconditionally; the pool's private
+        # work queue is never touched (its attributes are CPython
+        # implementation details).
+        self._read_pool_depth = Gauge("service.read_pool_depth")
+        metrics.register_callback(
+            "service.read_pool_queue_depth",
+            lambda: max(0, int(self._read_pool_depth.get())),
+        )
+        self.registry.bind_metrics(metrics)
         self._queue: "queue.Queue" = queue.Queue()
+        metrics.register_callback("service.dispatch_queue_depth", self._queue.qsize)
         self._closed = False
         self._lifecycle_lock = threading.Lock()
         # Per-tenant ingest barrier: the Future of the last mutation routed
@@ -413,6 +515,7 @@ class SimilarityService:
             max_workers=self.read_workers, thread_name_prefix="similarity-read"
         )
         self._writer_queue: "queue.Queue" = queue.Queue()
+        metrics.register_callback("service.writer_queue_depth", self._writer_queue.qsize)
         self._writer = threading.Thread(
             target=self._writer_loop, name="similarity-writer", daemon=True
         )
@@ -482,8 +585,7 @@ class SimilarityService:
                 break
             if item is _SHUTDOWN:
                 continue
-            future = item.future if isinstance(item, _MutationItem) else item[1]
-            _resolve(future, error=RuntimeError("service is closed"))
+            _resolve(item.future, error=RuntimeError("service is closed"))
         if self._owns_registry:
             self.registry.close()
 
@@ -507,10 +609,16 @@ class SimilarityService:
                 f"unknown query type {type(query).__name__!r}"
             )
         future: "Future" = Future()
+        item = _QueryItem(
+            query,
+            future,
+            trace=self.obs.begin_trace(type(query).__name__),
+            submitted=time.perf_counter(),
+        )
         with self._lifecycle_lock:
             if self._closed:
                 raise RuntimeError("service is closed")
-            self._queue.put((query, future))
+            self._queue.put(item)
         return future
 
     def pair(
@@ -598,10 +706,17 @@ class SimilarityService:
             )
         future: "Future" = Future()
         name = self.default_graph if graph is None else graph
+        item = _MutationItem(
+            name,
+            log,
+            future,
+            trace=self.obs.begin_trace("Mutation"),
+            submitted=time.perf_counter(),
+        )
         with self._lifecycle_lock:
             if self._closed:
                 raise RuntimeError("service is closed")
-            self._queue.put(_MutationItem(name, log, future))
+            self._queue.put(item)
         return future
 
     def mutate(self, log: MutationLog, graph: Optional[str] = None) -> MutationReport:
@@ -628,9 +743,14 @@ class SimilarityService:
         # qsize() is approximate under concurrency, which is fine for
         # observability — these answer "is the service keeping up?".
         stats["dispatch_queue_depth"] = self._queue.qsize()
-        stats["read_pool_queue_depth"] = self._read_pool._work_queue.qsize()
+        # Tracked by the service's own submit/start gauge — never by poking
+        # at the ThreadPoolExecutor's private work queue (a CPython
+        # implementation detail that is free to change or disappear).
+        stats["read_pool_queue_depth"] = max(0, int(self._read_pool_depth.get()))
         stats["writer_queue_depth"] = self._writer_queue.qsize()
         stats["tenants"] = self.registry.stats()
+        stats["metrics"] = self.obs.metrics.snapshot()
+        stats["tracing"] = self.obs.tracer.enabled
         if self.default_graph in self.registry:
             default_tenant = self.registry.get(self.default_graph)
             stats["store"] = default_tenant.store.stats.as_dict()
@@ -657,6 +777,7 @@ class SimilarityService:
             if isinstance(item, _MutationItem):
                 self._route_mutation(item)
                 continue
+            item.dequeued = time.perf_counter()
             batch = [item]
             trailing: Optional[_MutationItem] = None
             while len(batch) < self.max_batch_size:
@@ -670,14 +791,15 @@ class SimilarityService:
                 if isinstance(item, _MutationItem):
                     trailing = item
                     break
+                item.dequeued = time.perf_counter()
                 batch.append(item)
             try:
                 self._dispatch_batch(batch)
             except Exception as error:
                 # The dispatcher must survive anything — a dead dispatcher
                 # would hang every pending and future caller.
-                for _, future in batch:
-                    _resolve(future, error=error)
+                for query_item in batch:
+                    self._finish_query(query_item, error=error)
             if trailing is not None:
                 self._route_mutation(trailing)
 
@@ -687,7 +809,11 @@ class SimilarityService:
             # with it every tenant's queries) for the duration of the apply.
             self._process_mutation(item)
             return
-        self._barriers[item.graph] = item.future
+        # The barrier is service-owned, never handed to clients: it resolves
+        # exactly when the writer finishes this apply, even if the client
+        # cancelled or dropped its own Future mid-flight.
+        item.barrier = Future()
+        self._barriers[item.graph] = item.barrier
         self._writer_queue.put(item)
 
     def _writer_loop(self) -> None:
@@ -700,30 +826,57 @@ class SimilarityService:
 
     def _process_mutation(self, item: _MutationItem) -> None:
         self.stats.record_mutation()
+        started = time.perf_counter()
+        if item.trace is not None:
+            item.trace.add_span("queue_wait", item.submitted, started)
+            item.trace.open_span("apply", {"graph": item.graph, "ops": len(item.log)})
         try:
             report = self.registry.get(item.graph).apply(
                 item.log,
                 verify=self.verify_mutations or self.registry.verify_mutations,
             )
         except Exception as error:
+            self._finish_mutation(item)
             _resolve(item.future, error=error)
             return
+        finally:
+            # Barrier semantics, not result semantics: it marks "this ingest
+            # is no longer in flight" for queries ordered behind it, on
+            # success and failure alike.
+            if item.barrier is not None:
+                _resolve(item.barrier, result=None)
+        self._finish_mutation(item)
         _resolve(item.future, result=report)
 
-    def _dispatch_batch(self, batch: List[Tuple[Query, "Future"]]) -> None:
-        self.stats.record_batch([query for query, _ in batch])
+    def _finish_mutation(self, item: _MutationItem) -> None:
+        self._mutation_total_ms.observe(1000.0 * (time.perf_counter() - item.submitted))
+        if item.trace is not None:
+            item.trace.finish()
+
+    def _dispatch_batch(self, batch: List[_QueryItem]) -> None:
+        self.stats.record_batch([item.query for item in batch])
+        dispatched = time.perf_counter()
+        for item in batch:
+            # dispatch_wait: submit() → dispatcher dequeue; coalesce: dequeue
+            # → batch handed off.  Top-level, non-overlapping spans, so a
+            # trace's span durations sum to (at most) its total.
+            self._dispatch_wait_ms.observe(1000.0 * (item.dequeued - item.submitted))
+            self._coalesce_ms.observe(1000.0 * (dispatched - item.dequeued))
+            if item.trace is not None:
+                item.trace.add_span("dispatch_wait", item.submitted, item.dequeued)
+                item.trace.add_span("coalesce", item.dequeued, dispatched)
         # Split the batch per tenant; each group pins its tenant's epoch and
         # runs on the read pool against that immutable snapshot.
-        groups: Dict[str, List[Tuple[Query, "Future"]]] = {}
-        for query, future in batch:
-            name = self.default_graph if query.graph is None else query.graph
-            groups.setdefault(name, []).append((query, future))
+        groups: Dict[str, List[_QueryItem]] = {}
+        for item in batch:
+            name = self.default_graph if item.query.graph is None else item.query.graph
+            groups.setdefault(name, []).append(item)
         for name, items in groups.items():
             try:
                 tenant = self.registry.get(name)
             except Exception as error:
-                for _, future in items:
-                    _resolve(future, error=error)
+                for item in items:
+                    self._finish_query(item, error=error)
                 continue
             barrier = self._barriers.get(name)
             if barrier is not None and barrier.done():
@@ -734,58 +887,97 @@ class SimilarityService:
                 # Pin here, in submission order: the epoch is leased before
                 # any later-submitted mutation can publish its successor.
                 try:
+                    pin_started = time.perf_counter()
                     lease = tenant.pin_epoch()
+                    self._record_epoch_pin(items, pin_started)
                 except Exception as error:
-                    for _, future in items:
-                        _resolve(future, error=error)
+                    for item in items:
+                        self._finish_query(item, error=error)
                     continue
-            self._read_pool.submit(self._run_tenant_batch, tenant, items, lease, barrier)
+            self._read_pool_depth.inc()
+            self._read_pool.submit(
+                self._run_tenant_batch,
+                tenant,
+                items,
+                lease,
+                barrier,
+                time.perf_counter(),
+            )
+
+    def _record_epoch_pin(self, items: List[_QueryItem], started: float) -> None:
+        pinned = time.perf_counter()
+        self._epoch_pin_ms.observe(1000.0 * (pinned - started))
+        for item in items:
+            if item.trace is not None:
+                item.trace.add_span("epoch_pin", started, pinned)
 
     def _run_tenant_batch(
         self,
         tenant: GraphTenant,
-        items: List[Tuple[Query, "Future"]],
+        items: List[_QueryItem],
         lease: Optional[EpochLease],
         barrier: Optional["Future"],
+        pool_submitted: float,
     ) -> None:
         """Read-pool task: answer one tenant group against its pinned epoch."""
+        self._read_pool_depth.dec()
+        started = time.perf_counter()
+        self._read_wait_ms.observe(1000.0 * (started - pool_submitted))
+        for item in items:
+            if item.trace is not None:
+                item.trace.add_span("read_wait", pool_submitted, started)
         if lease is None:
             # These queries were submitted after a mutation still in flight:
-            # wait for its epoch.  futures_wait (not .result()) because the
+            # wait for its epoch.  The barrier is the writer's internal
+            # Future (the client's handle may be cancelled mid-apply without
+            # releasing us early); futures_wait (not .result()) because the
             # outcome is irrelevant — a failed ingest leaves the graph (and
-            # the current epoch) unchanged, and a client-cancelled mutation
-            # must not raise CancelledError (a BaseException) past this
+            # the current epoch) unchanged, and must not raise past this
             # task's error handling and strand every query in the group.
             if barrier is not None:
+                barrier_started = time.perf_counter()
                 futures_wait([barrier])
+                barrier_ended = time.perf_counter()
+                for item in items:
+                    if item.trace is not None:
+                        item.trace.add_span(
+                            "barrier_wait", barrier_started, barrier_ended
+                        )
             try:
+                pin_started = time.perf_counter()
                 lease = tenant.pin_epoch()
+                self._record_epoch_pin(items, pin_started)
             except Exception as error:
-                for _, future in items:
-                    _resolve(future, error=error)
+                for item in items:
+                    self._finish_query(item, error=error)
                 return
+        for item in items:
+            if item.trace is not None:
+                # The worker phase: everything from here to resolution nests
+                # under "execute"; _finish_query's trace.finish() closes it.
+                item.trace.open_span("execute")
         try:
             with lease:
                 self._process_tenant_batch(tenant, lease.snapshot, items)
         except Exception as error:
             # _process_tenant_batch isolates per-query errors; whatever still
             # escapes fails the group, never the pool worker.
-            for _, future in items:
-                _resolve(future, error=error)
+            for item in items:
+                self._finish_query(item, error=error)
 
     def _process_tenant_batch(
         self,
         tenant: GraphTenant,
         snapshot: EngineSnapshot,
-        batch: List[Tuple[Query, "Future"]],
+        batch: List[_QueryItem],
     ) -> None:
         # Validate and plan every query, isolating per-query failures.
-        planned: List[Tuple[Query, "Future", _QueryPlan]] = []
-        for query, future in batch:
+        planned: List[Tuple[_QueryItem, _QueryPlan]] = []
+        for item in batch:
             try:
-                planned.append((query, future, self._plan(tenant, snapshot, query)))
+                planned.append((item, self._plan(tenant, snapshot, item.query)))
             except Exception as error:
-                _resolve(future, error=error)
+                self._finish_query(item, error=error)
 
         # One snapshot-scoped executor per (method, walk count) group: the
         # pairs of every query in a group are scored by a single run_batch,
@@ -793,10 +985,10 @@ class SimilarityService:
         # batch, not just within one.  No method-specific branches: all four
         # methods flow through MethodExecutor.run_batch on this read worker.
         groups: Dict[
-            Tuple[str, Optional[int]], List[Tuple[Query, "Future", _QueryPlan]]
+            Tuple[str, Optional[int]], List[Tuple[_QueryItem, _QueryPlan]]
         ] = {}
         for entry in planned:
-            plan = entry[2]
+            plan = entry[1]
             groups.setdefault((plan.method, plan.walks), []).append(entry)
         for (method, walks), entries in groups.items():
             executor = executor_for(method)(snapshot)
@@ -809,7 +1001,7 @@ class SimilarityService:
             # its build cost (a cache miss) is paid once per (method, walks).
             index: Optional[TopKIndex] = None
             covered = [
-                entry for entry in entries if self._index_covers(entry[2], snapshot)
+                entry for entry in entries if self._index_covers(entry[1], snapshot)
             ]
             if covered and self.use_topk_index and tenant.config.use_topk_index:
                 index = snapshot_index(snapshot, method, num_walks=walks)
@@ -822,7 +1014,7 @@ class SimilarityService:
             scored = []
             streamed = []
             for entry in entries:
-                kind = entry[2].kind
+                kind = entry[1].kind
                 if kind == "all_pairs":
                     streamed.append(entry)
                 elif (
@@ -833,18 +1025,29 @@ class SimilarityService:
                     indexed.append(entry)
                 else:
                     scored.append(entry)
-            for query, future, plan in indexed:
+            for item, plan in indexed:
+                # Per-query work: the executor's stage spans and the index's
+                # bound/prune/rescore spans attribute to this query alone.
+                scope = self.obs.scope([item.trace])
+                executor.obs_scope = scope
                 try:
-                    _resolve(
-                        future,
+                    self._finish_query(
+                        item,
                         result=self._answer_indexed(
-                            tenant, snapshot, executor, index, plan, overrides
+                            tenant, snapshot, executor, index, plan, overrides,
+                            obs=scope,
                         ),
                     )
                 except Exception as error:
-                    _resolve(future, error=error)
+                    self._finish_query(item, error=error)
             if scored:
-                flat = [pair for _, _, plan in scored for pair in plan.pairs]
+                # Shared work: one run_batch scores every query of the
+                # group, so its executor stages attribute to every bound
+                # trace (each query really did wait on that shared stage).
+                executor.obs_scope = self.obs.scope(
+                    [item.trace for item, _ in scored]
+                )
+                flat = [pair for _, plan in scored for pair in plan.pairs]
                 try:
                     results = executor.run_batch(flat, overrides)
                 except Exception:
@@ -853,10 +1056,11 @@ class SimilarityService:
                     # pool.  Retry per query on the same executor (keyed
                     # randomness: answers cannot change) so the failure
                     # stays with the query that caused it.
-                    for query, future, plan in scored:
+                    for item, plan in scored:
+                        executor.obs_scope = self.obs.scope([item.trace])
                         try:
-                            _resolve(
-                                future,
+                            self._finish_query(
+                                item,
                                 result=self._assemble(
                                     tenant,
                                     snapshot,
@@ -865,31 +1069,67 @@ class SimilarityService:
                                 ),
                             )
                         except Exception as error:
-                            _resolve(future, error=error)
+                            self._finish_query(item, error=error)
                 else:
                     offset = 0
-                    for query, future, plan in scored:
+                    for item, plan in scored:
                         share = results[offset : offset + len(plan.pairs)]
                         offset += len(plan.pairs)
                         try:
-                            _resolve(
-                                future,
+                            self._finish_query(
+                                item,
                                 result=self._assemble(tenant, snapshot, plan, share),
                             )
                         except Exception as error:
-                            _resolve(future, error=error)
-            for query, future, plan in streamed:
+                            self._finish_query(item, error=error)
+            for item, plan in streamed:
+                scope = self.obs.scope([item.trace])
+                executor.obs_scope = scope
                 try:
-                    _resolve(
-                        future,
+                    self._finish_query(
+                        item,
                         result=self._answer_all_pairs_streamed(
-                            tenant, snapshot, executor, plan, overrides, index
+                            tenant, snapshot, executor, plan, overrides, index,
+                            obs=scope,
                         ),
                     )
                 except Exception as error:
-                    _resolve(future, error=error)
+                    self._finish_query(item, error=error)
 
     # -- planning and answering ------------------------------------------------
+
+    def _finish_query(
+        self,
+        item: _QueryItem,
+        result: object = None,
+        error: "Exception | None" = None,
+    ) -> None:
+        """Complete one query: observe its total, finish its trace, resolve.
+
+        Safe to call twice (a worker's per-query error path racing the
+        group-level catch-all): the item's ``finished`` flag keeps the
+        histogram observation single-shot, :meth:`QueryTrace.finish` is
+        idempotent, and :func:`_resolve` tolerates a settled future.
+        """
+        if not item.finished:
+            item.finished = True
+            self._query_total_ms.observe(
+                1000.0 * (time.perf_counter() - item.submitted)
+            )
+            if item.trace is not None:
+                total_ms = item.trace.finish({"error": error is not None})
+                if error is None:
+                    # Attach trace identity to the answer so clients can join
+                    # responses to the exported JSONL spans.  Only reachable
+                    # with tracing on, so pinned (trace-less) response
+                    # streams stay bit-identical.
+                    if isinstance(result, TopKResult):
+                        result.trace_id = item.trace.trace_id
+                        result.trace_total_ms = total_ms
+                    elif isinstance(result, SimRankResult):
+                        result.details["trace_id"] = item.trace.trace_id
+                        result.details["trace_total_ms"] = total_ms
+        _resolve(item.future, result=result, error=error)
 
     @staticmethod
     def _index_covers(plan: "_QueryPlan", snapshot: EngineSnapshot) -> bool:
@@ -1035,6 +1275,7 @@ class SimilarityService:
         index: TopKIndex,
         plan: _QueryPlan,
         overrides: Dict[str, object],
+        obs=None,
     ) -> "TopKResult":
         """Answer one top-k plan through the pruned two-phase index path.
 
@@ -1056,12 +1297,14 @@ class SimilarityService:
                     index_build_ms=index.build_ms,
                 )
             ranked, prune = pruned_top_k_vertex(
-                executor, index, plan.pairs[0][0], plan.items, plan.k, overrides
+                executor, index, plan.pairs[0][0], plan.items, plan.k, overrides,
+                obs=obs if obs is not None else self.obs.scope(),
             )
             items: list = [(vertex, result.score) for vertex, result in ranked]
         else:
             ranked, prune = pruned_top_k_pairs(
-                executor, index, plan.items, plan.k, overrides
+                executor, index, plan.items, plan.k, overrides,
+                obs=obs if obs is not None else self.obs.scope(),
             )
             items = [(u, v, result.score) for (u, v), result in ranked]
         tenant.record_prune(prune.candidates_total, prune.candidates_rescored)
@@ -1083,6 +1326,7 @@ class SimilarityService:
         plan: _QueryPlan,
         overrides: Dict[str, object],
         index: Optional[TopKIndex] = None,
+        obs=None,
     ) -> "TopKResult":
         """Top-k over the default quadratic pair space, chunk by chunk.
 
@@ -1105,6 +1349,7 @@ class SimilarityService:
         candidates_total = 0
         candidates_rescored = 0
         csr = snapshot.csr
+        scope = obs if obs is not None else self.obs.scope()
 
         def score_chunk() -> None:
             nonlocal counter, candidates_total, candidates_rescored
@@ -1114,22 +1359,28 @@ class SimilarityService:
             to_score: Sequence[Tuple[Vertex, Vertex]] = chunk
             kept_positions: Sequence[int] = positions
             if index is not None and len(best) >= plan.k:
-                kth = best[0][0]
-                u_indices = np.fromiter(
-                    (csr.index_of(u) for u, _ in chunk),
-                    dtype=np.int64,
-                    count=len(chunk),
-                )
-                v_indices = np.fromiter(
-                    (csr.index_of(v) for _, v in chunk),
-                    dtype=np.int64,
-                    count=len(chunk),
-                )
-                survivors = index.bounds_for_pairs(u_indices, v_indices) >= kth
-                to_score = [pair for pair, kept in zip(chunk, survivors) if kept]
-                kept_positions = [
-                    position for position, kept in zip(positions, survivors) if kept
-                ]
+                with scope.stage("index_bound"):
+                    kth = best[0][0]
+                    u_indices = np.fromiter(
+                        (csr.index_of(u) for u, _ in chunk),
+                        dtype=np.int64,
+                        count=len(chunk),
+                    )
+                    v_indices = np.fromiter(
+                        (csr.index_of(v) for _, v in chunk),
+                        dtype=np.int64,
+                        count=len(chunk),
+                    )
+                    survivors = index.bounds_for_pairs(u_indices, v_indices) >= kth
+                with scope.stage("index_prune"):
+                    to_score = [
+                        pair for pair, kept in zip(chunk, survivors) if kept
+                    ]
+                    kept_positions = [
+                        position
+                        for position, kept in zip(positions, survivors)
+                        if kept
+                    ]
             candidates_rescored += len(to_score)
             scored = executor.run_batch(list(to_score), overrides)
             for (u, v), position, result in zip(to_score, kept_positions, scored):

@@ -53,6 +53,7 @@ from repro.core.simrank import DEFAULT_DECAY, DEFAULT_ITERATIONS
 from repro.core.topk_index import DEFAULT_INDEX_BUDGET_BYTES
 from repro.graph.csr import CSRGraph
 from repro.graph.uncertain_graph import UncertainGraph
+from repro.obs import NULL_HISTOGRAM, MetricsRegistry
 from repro.service.bundle_store import DEFAULT_BUDGET_BYTES, WalkBundleStore
 from repro.service.epoch import (
     EngineSnapshot,
@@ -393,6 +394,25 @@ class GraphTenant:
         self.prune_queries = 0
         self.prune_candidates_total = 0
         self.prune_candidates_rescored = 0
+        # Ingest latency instruments.  Null until :meth:`bind_metrics` — a
+        # standalone tenant (no service) pays nothing for them; the last-*
+        # values are tracked unconditionally so ``stats()`` always has them.
+        self._apply_ms_hist = NULL_HISTOGRAM
+        self._snapshot_ms_hist = NULL_HISTOGRAM
+        self.last_apply_ms: Optional[float] = None
+        self.last_snapshot_ms: Optional[float] = None
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Resolve this tenant's ingest-latency histograms from ``metrics``.
+
+        Histogram names are shared across tenants (``ingest.apply_ms`` /
+        ``ingest.snapshot_ms``): the registry view aggregates the process's
+        ingest behaviour, while per-tenant ``stats()`` keeps the last-applied
+        values.  Called by the owning service; a disabled registry hands back
+        the null singletons, keeping the ingest path allocation-free.
+        """
+        self._apply_ms_hist = metrics.histogram("ingest.apply_ms")
+        self._snapshot_ms_hist = metrics.histogram("ingest.snapshot_ms")
 
     # -- epoch publication and pinning ----------------------------------------
 
@@ -472,6 +492,7 @@ class GraphTenant:
         re-bound to the new version (its walks were sampled on the old
         graph); no other tenant is touched.
         """
+        apply_start = time.perf_counter()
         with self.write_lock:
             self._applying = True
             try:
@@ -495,6 +516,11 @@ class GraphTenant:
                 invalidated = entries if self._publish_epoch(csr) else 0
                 self.mutations_applied += 1
                 self.ops_applied += len(log)
+                apply_ms = 1000.0 * (time.perf_counter() - apply_start)
+                self._snapshot_ms_hist.observe(snapshot_ms)
+                self._apply_ms_hist.observe(apply_ms)
+                self.last_snapshot_ms = snapshot_ms
+                self.last_apply_ms = apply_ms
                 return MutationReport(
                     graph=self.name,
                     ops=len(log),
@@ -572,7 +598,26 @@ class GraphTenant:
             "max_num_walks": self.config.max_num_walks,
             "epochs": self.epochs.stats(),
             "topk_index": self.topk_index_stats(),
+            "ingest": {
+                "last_apply_ms": self.last_apply_ms,
+                "last_snapshot_ms": self.last_snapshot_ms,
+            },
+            "caches": self.cache_stats(),
         }
+
+    def cache_stats(self) -> Dict[str, Dict[str, int]]:
+        """Every serving cache of this tenant in the uniform
+        ``{hits, misses, evictions, bytes}`` shape."""
+        caches: Dict[str, Dict[str, int]] = {
+            "walk_bundles": self.store.cache_stats(),
+        }
+        topk_store = getattr(self.engine.caches, "topk_indexes", None)
+        if topk_store is not None:
+            caches["topk_indexes"] = topk_store.cache_stats()
+        transitions = getattr(self.engine.caches, "transitions", None)
+        if transitions is not None:
+            caches["transitions"] = transitions.cache_stats()
+        return caches
 
     def close(self) -> None:
         """Shut down the tenant's sampler pool."""
@@ -608,6 +653,19 @@ class GraphRegistry:
         self.verify_mutations = verify_mutations
         self._tenants: Dict[str, GraphTenant] = {}
         self._lock = threading.Lock()
+        self._metrics: Optional[MetricsRegistry] = None
+
+    def bind_metrics(self, metrics: MetricsRegistry) -> None:
+        """Wire every current and future tenant to ``metrics``.
+
+        Called once by the owning service at construction; tenants created
+        afterwards (dynamic ``create_graph`` ops) are bound in :meth:`create`.
+        """
+        with self._lock:
+            self._metrics = metrics
+            tenants = list(self._tenants.values())
+        for tenant in tenants:
+            tenant.bind_metrics(metrics)
 
     # -- lifecycle ------------------------------------------------------------
 
@@ -631,6 +689,9 @@ class GraphRegistry:
                 tenant.close()
                 raise InvalidParameterError(f"graph {name!r} already exists")
             self._tenants[name] = tenant
+            metrics = self._metrics
+        if metrics is not None:
+            tenant.bind_metrics(metrics)
         return tenant
 
     def get(self, name: str) -> GraphTenant:

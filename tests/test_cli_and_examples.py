@@ -28,6 +28,7 @@ class TestCLI:
             "epoch",
             "methods",
             "topk_index",
+            "obs",
             "case-ppi",
             "case-er",
         } == set(EXPERIMENTS)

@@ -477,6 +477,70 @@ class TestConcurrentIngestStress:
             assert stats["pinned"] == 0, (name, stats)
             assert stats["freed"] == stats["published"] - 1, (name, stats)
 
+    def test_stress_trace_attribution_under_ingest(self):
+        """Tracing on, read_workers=4, queries racing sustained ingest: every
+        response's trace id is unique, every emitted span belongs to the
+        trace of exactly one query (span attribution travels with the work
+        item, never a thread), and each trace's top-level spans fit inside
+        its own reported total."""
+        from repro.obs import Observability
+
+        events: list = []
+        events_lock = threading.Lock()
+
+        def sink(event: dict) -> None:
+            with events_lock:
+                events.append(event)
+
+        obs = Observability(tracing=True, trace_sink=sink)
+        logs = [
+            MutationLog().add_edge("v4", f"ingest-{index}", 0.3 + 0.1 * (index % 5))
+            for index in range(4)
+        ]
+        with SimilarityService(
+            example_graph(),
+            num_walks=60,
+            seed=7,
+            read_workers=STRESS_READ_WORKERS,
+            batch_wait_seconds=0.0005,
+            obs=obs,
+        ) as service:
+            futures = []
+            for log in logs:
+                futures.extend(
+                    service.submit(PairQuery("v1", "v2")) for _ in range(3)
+                )
+                futures.append(service.submit(TopKVertexQuery("v2", 3)))
+                service.submit_mutations(log)
+            results = [future.result() for future in futures]
+        with events_lock:
+            collected = list(events)
+
+        closings = [e for e in collected if e["type"] == "trace"]
+        query_closings = [c for c in closings if c["op"] != "Mutation"]
+        trace_ids = [c["trace"] for c in query_closings]
+        assert len(trace_ids) == len(set(trace_ids)) == len(results)
+        response_ids = [
+            r.details["trace_id"] if hasattr(r, "details") else r.trace_id
+            for r in results
+        ]
+        assert sorted(response_ids) == sorted(trace_ids)
+        assert len([c for c in closings if c["op"] == "Mutation"]) == len(logs)
+
+        totals = {c["trace"]: c["total_ms"] for c in closings}
+        spans_by_trace: dict = {}
+        for event in collected:
+            if event["type"] == "span":
+                spans_by_trace.setdefault(event["trace"], []).append(event)
+        for trace_id, spans in spans_by_trace.items():
+            ids = [s["id"] for s in spans]
+            assert len(ids) == len(set(ids)), trace_id
+            top_level = [s for s in spans if s["parent"] is None]
+            assert sum(s["dur_ms"] for s in top_level) <= totals[trace_id] + 0.05
+        # Queries parked behind an in-flight mutation record the wait.
+        span_names = {e["name"] for e in collected if e["type"] == "span"}
+        assert "barrier_wait" in span_names
+
     def test_cancelled_mutation_does_not_strand_later_queries(self):
         """A client-cancelled mutation Future is still an ingest barrier for
         later queries; the barrier wait must treat the cancellation as

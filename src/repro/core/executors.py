@@ -105,6 +105,7 @@ from repro.core.walks import AlphaCache
 from repro.graph.csr import CSRGraph, CSRGraphView
 from repro.graph.uncertain_graph import UncertainGraph
 from repro.utils.errors import InvalidParameterError
+from repro.utils.stats import DEFAULT_Z, batch_means_stderr, normal_interval
 
 Vertex = Hashable
 
@@ -122,6 +123,11 @@ BundleNeed = Tuple[int, bool, int]
 #: use 4-component keys ``(_FILTER_STREAM, side, num_walks, rebuild)``, so
 #: the two families can never collide.
 _FILTER_STREAM = 2
+
+#: Walk-count ceiling of adaptive-fidelity runs when the caller provides no
+#: admission cap (``TenantConfig.max_num_walks``) of its own: the growth
+#: loop stops here even if the CI half-width target was not met.
+DEFAULT_ADAPTIVE_MAX_WALKS = 16384
 
 #: Default budget of the cross-batch transition cache, measured in stored
 #: distribution entries (vertex → probability pairs), not bytes: the dicts
@@ -783,6 +789,140 @@ class SamplingExecutor(MethodExecutor):
             )
             for (u, v), meeting in zip(pairs, meetings)
         ]
+
+    # -- adaptive fidelity -----------------------------------------------------
+
+    def run_adaptive(
+        self,
+        pair: Tuple[Vertex, Vertex],
+        target: float,
+        shard_size: int = DEFAULT_SHARD_SIZE,
+        start_walks: Optional[int] = None,
+        max_walks: Optional[int] = None,
+        z: float = DEFAULT_Z,
+    ) -> SimRankResult:
+        """Grow one pair's walk count until its CI half-width meets ``target``.
+
+        The shard-incremental loop behind the service's ``accuracy=`` query
+        mode.  Walk counts grow in whole-shard doublings — and because the
+        keyed world-key scheme makes an ``N``-walk bundle the exact prefix
+        of a ``2N``-walk bundle, every round *extends* the previous one
+        deterministically rather than resampling it.  Each round:
+
+        1. resolve the pair's bundles at the current walk count (store hits
+           reuse earlier rounds' shards for free where the store serves
+           them),
+        2. compute the full-bundle point estimate — **bit-identical** to a
+           plain ``sampling`` query at the same ``num_walks``,
+        3. estimate the standard error of that estimate from the
+           between-shard (batch-means) spread of per-shard scores,
+        4. stop when ``z * stderr <= target`` or the walk ceiling is hit,
+           else double.
+
+        ``max_walks`` caps the growth (callers pass the tenant's
+        ``max_num_walks`` admission cap; :data:`DEFAULT_ADAPTIVE_MAX_WALKS`
+        applies when there is none).  The returned
+        :class:`~repro.core.simrank.SimRankResult` carries the interval in
+        ``details``: ``ci_low`` / ``ci_high`` (normal interval on the
+        batch-means stderr, clipped to ``[0, 1]``), ``walks_used``,
+        ``accuracy_target``, ``ci_halfwidth``, ``adaptive_rounds`` and
+        ``converged``.
+        """
+        if not 0.0 < float(target) < 1.0:
+            raise InvalidParameterError(
+                f"accuracy target must be in (0, 1), got {target}"
+            )
+        if shard_size < 1:
+            raise InvalidParameterError(
+                f"shard_size must be >= 1, got {shard_size}"
+            )
+        ceiling = int(max_walks) if max_walks is not None else DEFAULT_ADAPTIVE_MAX_WALKS
+        if ceiling < 2:
+            raise InvalidParameterError(
+                f"adaptive walk ceiling must be >= 2, got {ceiling}"
+            )
+        # Start at two whole shards (the batch-means stderr needs at least
+        # two batches), or at the caller's requested count rounded up to
+        # whole shards, never past the ceiling.
+        start = 2 * shard_size if start_walks is None else int(start_walks)
+        start = max(2, -(-start // shard_size) * shard_size)
+        walks = min(start, ceiling)
+
+        snapshot = self.snapshot
+        csr = snapshot.csr
+        u, v = pair
+        twin = csr.index_of(u) == csr.index_of(v)
+        rounds = 0
+        while True:
+            rounds += 1
+            _, bundles = self._resolve_bundles([pair], walks)
+            bundle_u = bundles[(csr.index_of(u), False, walks)]
+            bundle_v = bundles[(csr.index_of(v), twin, walks)]
+            # The full-bundle estimate, through the same meeting computation
+            # the plain batched path uses for a single pair.
+            meeting = meeting_probabilities_from_matrices(
+                bundle_u, bundle_v, snapshot.iterations, twin
+            )
+            estimate = simrank_from_meeting_probabilities(meeting, snapshot.decay)
+            shard_scores = self._per_shard_scores(
+                bundle_u, bundle_v, twin, shard_size
+            )
+            stderr = batch_means_stderr(shard_scores)
+            halfwidth = z * stderr
+            if halfwidth <= target or walks >= ceiling:
+                break
+            walks = min(walks * 2, ceiling)
+        ci_low, ci_high = normal_interval(estimate, stderr, z)
+        result = self._result(
+            u,
+            v,
+            meeting,
+            {
+                "num_walks": walks,
+                "backend": "vectorized",
+                "shared_bundles": True,
+                "accuracy_target": float(target),
+                "ci_low": ci_low,
+                "ci_high": ci_high,
+                "ci_halfwidth": halfwidth,
+                "ci_z": float(z),
+                "walks_used": walks,
+                "adaptive_rounds": rounds,
+                "converged": halfwidth <= target,
+            },
+        )
+        return result
+
+    def _per_shard_scores(
+        self,
+        bundle_u: np.ndarray,
+        bundle_v: np.ndarray,
+        twin: bool,
+        shard_size: int,
+    ) -> List[float]:
+        """Per-shard SimRank scores of one pair's paired walk bundles.
+
+        Walk rows pair positionally, so slicing both bundles by the shard
+        scheme's row ranges yields independent batch estimates whose
+        weighted mean decomposes the full-bundle score (the score is linear
+        in the per-step meeting proportions).  A walk count below two
+        shards is split in half so the variance estimate always has two
+        batches.
+        """
+        walks = bundle_u.shape[0]
+        starts = list(range(0, walks, shard_size))
+        if len(starts) < 2:
+            starts = [0, max(1, walks // 2)]
+        iterations = self.snapshot.iterations
+        decay = self.snapshot.decay
+        scores: List[float] = []
+        for position, start in enumerate(starts):
+            stop = starts[position + 1] if position + 1 < len(starts) else walks
+            meeting = meeting_probabilities_from_matrices(
+                bundle_u[start:stop], bundle_v[start:stop], iterations, twin
+            )
+            scores.append(simrank_from_meeting_probabilities(meeting, decay))
+        return scores
 
 
 class TwoPhaseExecutor(MethodExecutor):

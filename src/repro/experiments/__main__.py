@@ -6,8 +6,8 @@ Usage::
 
 where ``<experiment>`` is one of ``datasets``, ``measures``, ``convergence``,
 ``efficiency``, ``accuracy``, ``param-n``, ``scalability``, ``service``,
-``tenancy``, ``epoch``, ``methods``, ``topk_index``, ``obs``, ``case-ppi``,
-``case-er`` or ``all``.  ``--quick`` shrinks the workload (fewer pairs,
+``tenancy``, ``epoch``, ``methods``, ``topk_index``, ``obs``, ``qos``,
+``case-ppi``, ``case-er`` or ``all``.  ``--quick`` shrinks the workload (fewer pairs,
 smaller sample sizes) so a full pass finishes in a couple of minutes.
 """
 
@@ -35,6 +35,7 @@ from repro.experiments.measures import format_measures_results, run_measures_exp
 from repro.experiments.methods import format_methods_results, run_methods_experiment
 from repro.experiments.obs import format_obs_results, run_obs_experiment
 from repro.experiments.param_n import format_param_n_results, run_param_n_experiment
+from repro.experiments.qos import format_qos_results, run_qos_experiment
 from repro.experiments.report import format_dataset_summary
 from repro.experiments.scalability import (
     format_scalability_results,
@@ -156,6 +157,17 @@ def _run_obs(quick: bool) -> str:
     return format_obs_results(result)
 
 
+def _run_qos(quick: bool) -> str:
+    result = run_qos_experiment(
+        num_vertices=150 if quick else 300,
+        num_edges=600 if quick else 1200,
+        num_walks=256 if quick else 512,
+        quiet_queries=15 if quick else 30,
+        hot_queries=60 if quick else 120,
+    )
+    return format_qos_results(result)
+
+
 def _run_topk_index(quick: bool) -> str:
     results = run_topk_index_experiment(
         edge_counts=(1500,) if quick else (1500, 4500, 7500),
@@ -198,6 +210,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "methods": _run_methods,
     "topk_index": _run_topk_index,
     "obs": _run_obs,
+    "qos": _run_qos,
     "case-ppi": _run_case_ppi,
     "case-er": _run_case_er,
 }

@@ -1,0 +1,317 @@
+"""QoS experiment: overload isolation, shedding, and adaptive fidelity.
+
+PR 8 gave the serving stack admission control (per-tenant ``max_qps`` /
+``max_inflight`` / ``max_queue_depth`` quotas shedding over-quota requests
+synchronously), graceful degradation (under dispatch-queue pressure,
+sampled answers truncate to fewer walk shards and are flagged
+``degraded``), and adaptive-fidelity ``accuracy=`` queries (the walk
+bundle grows until the CI half-width meets the target).  This experiment
+demonstrates all three on one deterministic two-tenant workload:
+
+* **Overload isolation** — a *hot* tenant with quotas is driven far above
+  its admitted rate while a *quiet* tenant runs a light stream.  Measured:
+  the hot tenant's shed count (bounded queues: admitted work never piles
+  up), and the quiet tenant's p95 latency with and without the hot tenant
+  hammering the service — the headline number, because shedding at the
+  door is what keeps the neighbours fast.
+* **Graceful degradation** — the same burst against a no-quota service
+  with degradation enabled: how many answers were degraded, and that each
+  equals the full-fidelity answer at its truncated walk count.
+* **Adaptive fidelity** — ``accuracy=`` sweeps over a few targets: walks
+  used vs. achieved half-width, and whether the interval covers the
+  high-fidelity reference estimate.
+
+Run it from the CLI with ``python -m repro.experiments qos [--quick]``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.experiments.report import format_table
+from repro.graph.generators import rmat_uncertain
+from repro.service.qos import OverloadedError
+from repro.service.service import PairQuery, SimilarityService
+from repro.utils.rng import ensure_rng
+
+
+@dataclass
+class IsolationRun:
+    """Quiet-tenant latency with and without a hot tenant's overload."""
+
+    scenario: str  #: "quiet alone" / "quiet + hot overload"
+    quiet_queries: int
+    quiet_p95_ms: float
+    hot_submitted: int
+    hot_admitted: int
+    hot_shed: int
+
+
+@dataclass
+class DegradationRun:
+    """One burst through a degradation-enabled service."""
+
+    queries: int
+    degraded: int
+    walks_full: int
+    walks_degraded: int
+    bit_identical: bool  #: degraded answers equal truncated plain queries
+
+
+@dataclass
+class AdaptiveRun:
+    """One ``accuracy=`` target's cost and achieved precision."""
+
+    target: float
+    walks_used: int
+    ci_halfwidth: float
+    converged: bool
+    covers_reference: bool  #: CI contains the high-fidelity estimate
+
+
+@dataclass
+class QosResult:
+    isolation: List[IsolationRun]
+    degradation: DegradationRun
+    adaptive: List[AdaptiveRun]
+
+
+def _percentile(values: List[float], fraction: float) -> float:
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, int(fraction * len(ordered)))
+    return ordered[index]
+
+
+def _run_quiet_stream(
+    service: SimilarityService, pairs, graph: str
+) -> List[float]:
+    latencies = []
+    for u, v in pairs:
+        started = time.perf_counter()
+        service.pair(u, v, graph=graph)
+        latencies.append(1000.0 * (time.perf_counter() - started))
+    return latencies
+
+
+def run_qos_experiment(
+    num_vertices: int = 300,
+    num_edges: int = 1200,
+    num_walks: int = 512,
+    quiet_queries: int = 30,
+    hot_queries: int = 120,
+    seed: int = 7,
+) -> QosResult:
+    """Overload a quota'd hot tenant; measure isolation, shed, degradation."""
+    rng = ensure_rng(seed)
+    graph = rmat_uncertain(
+        num_vertices, num_edges, rng=rng, prob_low=0.2, prob_high=0.9
+    )
+    vertices = sorted(graph.vertices())
+
+    def pick_pairs(count: int):
+        return [
+            (
+                vertices[int(rng.integers(0, len(vertices)))],
+                vertices[int(rng.integers(0, len(vertices)))],
+            )
+            for _ in range(count)
+        ]
+
+    quiet_pairs = pick_pairs(quiet_queries)
+    hot_pairs = pick_pairs(hot_queries)
+
+    # -- isolation: quiet tenant alone, then next to an overloaded hot one --
+    isolation: List[IsolationRun] = []
+    with SimilarityService(graph, num_walks=num_walks, seed=seed) as service:
+        service.create_graph("quiet", graph.copy(), seed=seed + 1)
+        alone = _run_quiet_stream(service, quiet_pairs, "quiet")
+    isolation.append(
+        IsolationRun(
+            scenario="quiet alone",
+            quiet_queries=len(alone),
+            quiet_p95_ms=_percentile(alone, 0.95),
+            hot_submitted=0,
+            hot_admitted=0,
+            hot_shed=0,
+        )
+    )
+
+    with SimilarityService(
+        graph,
+        num_walks=num_walks,
+        seed=seed,
+        max_qps=20.0,
+        max_inflight=8,
+        max_queue_depth=16,
+    ) as service:
+        # Only the hot (default) tenant is quota'd; the quiet one is free.
+        service.create_graph(
+            "quiet",
+            graph.copy(),
+            seed=seed + 1,
+            max_qps=None,
+            max_inflight=None,
+            max_queue_depth=None,
+        )
+        # Fire the hot burst without waiting on the answers (10x the quiet
+        # rate); admission sheds what the quotas refuse.
+        hot_futures = []
+        for u, v in hot_pairs:
+            try:
+                hot_futures.append(
+                    service.submit(PairQuery(u, v))
+                )
+            except OverloadedError:
+                pass
+        loaded = _run_quiet_stream(service, quiet_pairs, "quiet")
+        for future in hot_futures:
+            try:
+                future.result()
+            except Exception:
+                pass
+        admission = service.service_stats()["qos"]["admission"]["default"]
+    isolation.append(
+        IsolationRun(
+            scenario="quiet + hot overload",
+            quiet_queries=len(loaded),
+            quiet_p95_ms=_percentile(loaded, 0.95),
+            hot_submitted=len(hot_pairs),
+            hot_admitted=admission["admitted"],
+            hot_shed=admission["shed"],
+        )
+    )
+
+    # -- degradation: the same burst, no quotas, degradation armed --
+    # The truncation floor is one shard, so the bundle must span several
+    # shards for degradation to have room to cut.
+    shard_size = max(1, num_walks // 4)
+    with SimilarityService(
+        graph,
+        num_walks=num_walks,
+        seed=seed,
+        shard_size=shard_size,
+        degrade_queue_depth=4,
+        max_batch_size=1,
+        batch_wait_seconds=0.0,
+    ) as service:
+        futures = [service.submit(PairQuery(u, v)) for u, v in hot_pairs]
+        answers = [future.result() for future in futures]
+    degraded = [a for a in answers if a.details.get("degraded")]
+    bit_identical = True
+    if degraded:
+        sample = degraded[0]
+        with SimilarityService(
+            graph, num_walks=num_walks, seed=seed, shard_size=shard_size
+        ) as ref:
+            plain = ref.pair(
+                sample.u, sample.v, num_walks=sample.details["walks_used"]
+            )
+        bit_identical = plain.score == sample.score
+    degradation = DegradationRun(
+        queries=len(answers),
+        degraded=len(degraded),
+        walks_full=num_walks,
+        walks_degraded=(
+            degraded[0].details["walks_used"] if degraded else num_walks
+        ),
+        bit_identical=bit_identical,
+    )
+
+    # -- adaptive fidelity: targets vs. walks used and coverage --
+    adaptive: List[AdaptiveRun] = []
+    with SimilarityService(
+        graph, num_walks=256, seed=seed, max_num_walks=8192
+    ) as service:
+        # Prefer a pair with genuinely uncertain similarity: a zero-score
+        # pair has zero variance and converges trivially.
+        u, v = quiet_pairs[0]
+        reference = 0.0
+        for candidate_u, candidate_v in quiet_pairs + hot_pairs:
+            score = service.pair(candidate_u, candidate_v).score
+            if score > 0.0:
+                u, v, reference = candidate_u, candidate_v, score
+                break
+        reference = service.pair(u, v, num_walks=8192).score
+        # Anchor the target sweep to the precision a minimal adaptive run
+        # achieves, so successive targets genuinely force the bundle to
+        # grow (half-width shrinks ~1/sqrt(walks): halving it needs 4x).
+        probe = service.pair(u, v, accuracy=0.5).details["ci_halfwidth"]
+        base_target = max(probe, 1e-6)
+        for target in (
+            2.0 * base_target,
+            0.9 * base_target,
+            0.45 * base_target,
+            0.22 * base_target,
+        ):
+            result = service.pair(u, v, accuracy=target)
+            details = result.details
+            adaptive.append(
+                AdaptiveRun(
+                    target=target,
+                    walks_used=details["walks_used"],
+                    ci_halfwidth=details["ci_halfwidth"],
+                    converged=details["converged"],
+                    covers_reference=(
+                        details["ci_low"] <= reference <= details["ci_high"]
+                    ),
+                )
+            )
+
+    return QosResult(
+        isolation=isolation, degradation=degradation, adaptive=adaptive
+    )
+
+
+def format_qos_results(result: QosResult) -> str:
+    lines = ["overload isolation (hot tenant quota'd, quiet tenant measured):"]
+    lines.append(
+        format_table(
+            ("scenario", "quiet q", "quiet p95 ms", "hot sent", "hot admitted",
+             "hot shed"),
+            [
+                (
+                    run.scenario,
+                    run.quiet_queries,
+                    run.quiet_p95_ms,
+                    run.hot_submitted,
+                    run.hot_admitted,
+                    run.hot_shed,
+                )
+                for run in result.isolation
+            ],
+            precision=2,
+        )
+    )
+    lines.append("")
+    lines.append("graceful degradation (no quotas, queue-pressure fallback):")
+    d = result.degradation
+    lines.append(
+        format_table(
+            ("queries", "degraded", "full walks", "degraded walks",
+             "bit-identical"),
+            [(d.queries, d.degraded, d.walks_full, d.walks_degraded,
+              "yes" if d.bit_identical else "NO")],
+            precision=2,
+        )
+    )
+    lines.append("")
+    lines.append("adaptive fidelity (accuracy= targets, one pair):")
+    lines.append(
+        format_table(
+            ("target", "walks used", "ci half-width", "converged", "covers ref"),
+            [
+                (
+                    run.target,
+                    run.walks_used,
+                    run.ci_halfwidth,
+                    "yes" if run.converged else "no",
+                    "yes" if run.covers_reference else "NO",
+                )
+                for run in result.adaptive
+            ],
+            precision=4,
+        )
+    )
+    return "\n".join(lines)

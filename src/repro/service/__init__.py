@@ -24,6 +24,10 @@ into a servable system:
 * :mod:`repro.service.bundle_store` — :class:`WalkBundleStore`, the
   LRU-bounded walk-bundle store with hit/miss/eviction stats and
   graph-version invalidation (one per tenant).
+* :mod:`repro.service.qos` — :class:`AdmissionController` /
+  :class:`TokenBucket` / :class:`OverloadedError`, per-tenant admission
+  quotas (``max_qps`` / ``max_inflight`` / ``max_queue_depth``) enforced
+  synchronously at submit, plus the structured overload rejection.
 * :mod:`repro.service.runner` — the JSON-lines request runner behind
   ``python -m repro.service``.
 """
@@ -37,6 +41,7 @@ from repro.service.epoch import (
     PooledWalkSource,
     VersionedStoreView,
 )
+from repro.service.qos import AdmissionController, OverloadedError, TokenBucket
 from repro.service.service import (
     INGEST_MODES,
     PairQuery,
@@ -65,6 +70,9 @@ __all__ = [
     "EpochManager",
     "PooledWalkSource",
     "VersionedStoreView",
+    "AdmissionController",
+    "OverloadedError",
+    "TokenBucket",
     "INGEST_MODES",
     "PairQuery",
     "SimilarityService",

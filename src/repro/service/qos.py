@@ -1,0 +1,292 @@
+"""Admission control and overload accounting for the similarity service.
+
+The serving stack answers fast (batched executors, epoch pinning, the top-k
+index) but speed alone does not survive overload: a single hot tenant can
+submit faster than the read pool drains, growing the dispatch queue without
+bound and dragging every tenant's latency with it.  This module provides
+the QoS half of the story:
+
+* :class:`OverloadedError` — the structured rejection.  Carries a machine
+  ``code`` (``"overloaded"``) and a ``retry_after_ms`` hint so clients can
+  back off instead of hammering; the JSONL runner surfaces both fields.
+* :class:`TokenBucket` — a classic token bucket enforcing a sustained
+  queries-per-second rate with a one-second burst allowance.
+* :class:`AdmissionController` — per-tenant admission state (rate bucket,
+  inflight counter, queued counter) enforcing the three
+  :class:`~repro.service.tenancy.TenantConfig` quotas ``max_qps``,
+  ``max_inflight`` and ``max_queue_depth`` at submission time.  Over-quota
+  requests are rejected *synchronously* — backpressure at the door, never
+  an unbounded queue — and every shed is counted into the ``qos.shed``
+  metric (per-tenant gauges track inflight and queued work).
+
+Admission is checked before a query ever enters the dispatch queue, so a
+rejected request costs no dispatcher or read-pool work.  Tenants without
+quotas configured bypass the controller entirely: the pre-QoS hot path is
+untouched and its answers remain bit-identical.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, Optional
+
+from repro.obs import MetricsRegistry
+from repro.utils.errors import ReproError
+
+__all__ = [
+    "AdmissionController",
+    "DEFAULT_RETRY_AFTER_MS",
+    "OverloadedError",
+    "TokenBucket",
+]
+
+#: Retry hint attached to inflight/queue-depth rejections, where no rate
+#: arithmetic yields a natural wait time.  Deliberately short: these quotas
+#: clear as soon as the read pool drains a batch.
+DEFAULT_RETRY_AFTER_MS = 50.0
+
+
+class OverloadedError(ReproError):
+    """A request was shed by admission control instead of queued.
+
+    Attributes
+    ----------
+    code:
+        Always ``"overloaded"`` — the machine-readable error class the JSONL
+        runner copies into the response so clients can branch without
+        parsing the message.
+    graph:
+        The tenant whose quota rejected the request.
+    quota:
+        Which quota tripped: ``"max_qps"``, ``"max_inflight"`` or
+        ``"max_queue_depth"``.
+    retry_after_ms:
+        Backoff hint in milliseconds.  For rate rejections this is the time
+        until the token bucket refills one token; for the occupancy quotas
+        it is :data:`DEFAULT_RETRY_AFTER_MS`.
+    """
+
+    code = "overloaded"
+
+    def __init__(
+        self, graph: str, quota: str, limit: object, retry_after_ms: float
+    ) -> None:
+        self.graph = graph
+        self.quota = quota
+        self.limit = limit
+        self.retry_after_ms = float(retry_after_ms)
+        super().__init__(
+            f"graph {graph!r} is overloaded ({quota}={limit} reached); "
+            f"retry after {self.retry_after_ms:.0f}ms"
+        )
+
+
+class TokenBucket:
+    """A token bucket: sustained ``rate`` per second, ``burst`` capacity.
+
+    The bucket starts full, refills continuously at ``rate`` tokens per
+    second, and never holds more than ``burst`` tokens.  ``clock`` is
+    injectable (tests pin it to a fake monotonic clock so rate behaviour is
+    deterministic); production uses :func:`time.monotonic`.
+
+    Not thread-safe on its own — the owning
+    :class:`AdmissionController` serializes access under its lock.
+    """
+
+    def __init__(
+        self,
+        rate: float,
+        burst: Optional[float] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.rate = float(rate)
+        # One second of sustained rate (at least one token, so a tenant with
+        # max_qps < 1 can still ever be admitted).
+        self.burst = float(burst) if burst is not None else max(1.0, self.rate)
+        if self.burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+        self._clock = clock
+        self._tokens = self.burst
+        self._stamp = clock()
+
+    def _refill(self) -> None:
+        now = self._clock()
+        elapsed = now - self._stamp
+        self._stamp = now
+        if elapsed > 0:
+            self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+
+    def try_acquire(self) -> bool:
+        """Take one token if available; never blocks."""
+        self._refill()
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return True
+        return False
+
+    def retry_after_seconds(self) -> float:
+        """Time until one token is available (0 when one already is)."""
+        self._refill()
+        if self._tokens >= 1.0:
+            return 0.0
+        return (1.0 - self._tokens) / self.rate
+
+
+class _TenantAdmission:
+    """Mutable admission state of one quota-carrying tenant."""
+
+    __slots__ = ("bucket", "inflight", "queued", "admitted", "shed")
+
+    def __init__(self, bucket: Optional[TokenBucket]) -> None:
+        self.bucket = bucket
+        self.inflight = 0  #: admitted and not yet finished
+        self.queued = 0  #: admitted and not yet handed to the read pool
+        self.admitted = 0
+        self.shed = 0
+
+
+class AdmissionController:
+    """Per-tenant quota enforcement at the service's submission edge.
+
+    One controller per :class:`~repro.service.service.SimilarityService`.
+    :meth:`admit` either reserves capacity (incrementing the tenant's
+    inflight and queued counters) or raises :class:`OverloadedError`; the
+    service must pair every successful admit with exactly one
+    :meth:`release` (when the query finishes, successfully or not) and at
+    most one :meth:`mark_dispatched` (when the dispatcher hands the query's
+    batch to the read pool).
+
+    Tenants whose config carries no quota are never tracked — ``admit``
+    returns ``False`` without taking state — so unconfigured services pay a
+    dict lookup and nothing else.
+    """
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self._metrics = metrics if metrics is not None else MetricsRegistry()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._tenants: Dict[str, _TenantAdmission] = {}
+        self._shed = self._metrics.counter("qos.shed")
+        self._admitted = self._metrics.counter("qos.admitted")
+        self._inflight = self._metrics.gauge("qos.inflight")
+        self._queued = self._metrics.gauge("qos.queued")
+
+    @staticmethod
+    def has_quotas(config) -> bool:
+        """Whether a tenant config carries any admission quota."""
+        return (
+            getattr(config, "max_qps", None) is not None
+            or getattr(config, "max_inflight", None) is not None
+            or getattr(config, "max_queue_depth", None) is not None
+        )
+
+    def _state(self, name: str, config) -> _TenantAdmission:
+        state = self._tenants.get(name)
+        if state is None:
+            bucket = (
+                TokenBucket(float(config.max_qps), clock=self._clock)
+                if config.max_qps is not None
+                else None
+            )
+            state = _TenantAdmission(bucket)
+            self._tenants[name] = state
+        return state
+
+    def admit(self, name: str, config) -> bool:
+        """Reserve capacity for one query on tenant ``name``.
+
+        Returns ``True`` when the tenant is quota-tracked (the caller must
+        later :meth:`release`), ``False`` when it carries no quotas.  Raises
+        :class:`OverloadedError` when any quota is exceeded — in which case
+        no state was taken and no release is owed.
+        """
+        if not self.has_quotas(config):
+            return False
+        with self._lock:
+            state = self._state(name, config)
+            if (
+                config.max_queue_depth is not None
+                and state.queued >= config.max_queue_depth
+            ):
+                state.shed += 1
+                self._shed.inc()
+                raise OverloadedError(
+                    name, "max_queue_depth", config.max_queue_depth,
+                    DEFAULT_RETRY_AFTER_MS,
+                )
+            if (
+                config.max_inflight is not None
+                and state.inflight >= config.max_inflight
+            ):
+                state.shed += 1
+                self._shed.inc()
+                raise OverloadedError(
+                    name, "max_inflight", config.max_inflight,
+                    DEFAULT_RETRY_AFTER_MS,
+                )
+            if state.bucket is not None and not state.bucket.try_acquire():
+                state.shed += 1
+                self._shed.inc()
+                raise OverloadedError(
+                    name, "max_qps", config.max_qps,
+                    1000.0 * state.bucket.retry_after_seconds(),
+                )
+            state.inflight += 1
+            state.queued += 1
+            state.admitted += 1
+            self._admitted.inc()
+            self._inflight.inc()
+            self._queued.inc()
+        return True
+
+    def mark_dispatched(self, name: str) -> None:
+        """One admitted query left the dispatch queue for the read pool."""
+        with self._lock:
+            state = self._tenants.get(name)
+            if state is not None and state.queued > 0:
+                state.queued -= 1
+                self._queued.dec()
+
+    def release(self, name: str, dispatched: bool) -> None:
+        """One admitted query finished (``dispatched``: it reached the pool).
+
+        A query that dies before dispatch (planning error, dispatcher
+        failure) still holds a queue slot; releasing with
+        ``dispatched=False`` returns both reservations at once.
+        """
+        with self._lock:
+            state = self._tenants.get(name)
+            if state is None:
+                return
+            if state.inflight > 0:
+                state.inflight -= 1
+                self._inflight.dec()
+            if not dispatched and state.queued > 0:
+                state.queued -= 1
+                self._queued.dec()
+
+    def queue_depth(self, name: str) -> int:
+        """Admitted-but-undispatched queries of one tenant (0 if untracked)."""
+        with self._lock:
+            state = self._tenants.get(name)
+            return state.queued if state is not None else 0
+
+    def stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-tenant admission counters (a ``service_stats`` sub-dict)."""
+        with self._lock:
+            return {
+                name: {
+                    "admitted": state.admitted,
+                    "shed": state.shed,
+                    "inflight": state.inflight,
+                    "queued": state.queued,
+                }
+                for name, state in self._tenants.items()
+            }

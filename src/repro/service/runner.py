@@ -16,8 +16,15 @@ an optional opaque value echoed into the response)::
 
     {"op": "pair", "u": "v1", "v": "v2"}
     {"op": "pair", "u": "v1", "v": "v2", "num_walks": 200}
+    {"op": "pair", "u": "v1", "v": "v2", "accuracy": 0.02}
     {"op": "top_k", "query": "v1", "k": 5, "candidates": ["v2", "v3"]}
     {"op": "top_k_pairs", "k": 3, "pairs": [["v1", "v2"], ["v2", "v3"]]}
+
+``accuracy`` (pair queries, ``"sampling"`` method only) switches the query
+to adaptive fidelity: the walk bundle grows in deterministic shard
+increments until the confidence-interval half-width meets the target (or
+the tenant's ``max_num_walks`` caps it), and the response carries
+``ci_low`` / ``ci_high`` / ``walks_used``.
 
 Every query response — ``pair``, ``top_k``, ``top_k_pairs``, for every
 method — carries the ``epoch`` and ``graph_version`` the answer was pinned
@@ -60,6 +67,15 @@ rescore) are appended to ``FILE`` as JSONL, and each query response gains
 ``--no-metrics`` turns the metrics registry off entirely (the zero-overhead
 baseline; ``stats`` still reports the batching counters' shape with a
 disabled registry snapshot).
+
+Admission control (``--max-qps`` / ``--max-inflight`` /
+``--max-queue-depth``) sheds over-quota requests with a structured error —
+``{"op": ..., "error": "...", "code": "overloaded", "retry_after_ms": ...}``
+— instead of queuing them; the stream keeps serving.  Graceful degradation
+(``--degrade-queue-depth`` / ``--degrade-fraction``) answers under queue
+pressure at a reduced walk count, flagged by ``degraded: true`` plus the
+achieved ``walks_used``.  Both field sets appear *only* when the feature
+triggers, so ordinary response streams stay byte-stable.
 
 Responses mirror the request ``op``; a failed request yields
 ``{"op": ..., "error": "..."}`` without aborting the rest of the stream.
@@ -120,12 +136,14 @@ def _parse_query(record: dict):
     if num_walks is not None:
         num_walks = int(num_walks)
     if op == "pair":
+        accuracy = record.get("accuracy")
         return PairQuery(
             _require(record, "u"),
             _require(record, "v"),
             method=method,
             graph=graph,
             num_walks=num_walks,
+            accuracy=float(accuracy) if accuracy is not None else None,
         )
     if op == "top_k":
         candidates = record.get("candidates")
@@ -164,6 +182,15 @@ def _render_response(record: dict, query, outcome) -> dict:
     if isinstance(query, PairQuery):
         response.update(u=query.u, v=query.v, score=outcome.score)
         details = getattr(outcome, "details", None) or {}
+        if "ci_low" in details:
+            # Adaptive-fidelity answer: interval + achieved walk count.
+            response.update(
+                ci_low=details["ci_low"],
+                ci_high=details["ci_high"],
+                walks_used=details["walks_used"],
+            )
+        if details.get("degraded"):
+            response.update(degraded=True, walks_used=details["walks_used"])
         if "epoch" in details:
             # Which immutable snapshot answered: deterministic across runs
             # (epoch ids count publications), so pinned-output tests hold.
@@ -207,6 +234,10 @@ def _attach_epoch(response: dict, outcome) -> None:
             candidates_total=getattr(outcome, "candidates_total", None),
             candidates_rescored=rescored,
         )
+    if getattr(outcome, "degraded", None):
+        response.update(
+            degraded=True, walks_used=getattr(outcome, "walks_used", None)
+        )
     # Present only when the service runs with tracing on (--trace-out), so
     # the pinned default response stream is untouched.
     trace_id = getattr(outcome, "trace_id", None)
@@ -220,6 +251,14 @@ def _attach_epoch(response: dict, outcome) -> None:
 def _render_error(record: dict, error: object) -> dict:
     response = _base_response(record)
     response["error"] = str(error)
+    # Structured error surface: ReproError subclasses carry a machine code
+    # (e.g. "overloaded"), and admission rejections a retry hint.
+    code = getattr(error, "code", None)
+    if code is not None:
+        response["code"] = code
+    retry_after_ms = getattr(error, "retry_after_ms", None)
+    if retry_after_ms is not None:
+        response["retry_after_ms"] = retry_after_ms
     return response
 
 
@@ -309,6 +348,42 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
         type=int,
         default=None,
         help="admission cap on per-query num_walks overrides (default: none)",
+    )
+    parser.add_argument(
+        "--max-qps",
+        type=float,
+        default=None,
+        help="admission quota: sustained queries per second of the default "
+        "tenant; over-quota requests are shed with code 'overloaded' "
+        "(default: no quota)",
+    )
+    parser.add_argument(
+        "--max-inflight",
+        type=int,
+        default=None,
+        help="admission quota: concurrently admitted-but-unfinished queries "
+        "of the default tenant (default: no quota)",
+    )
+    parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help="admission quota: admitted-but-undispatched queries of the "
+        "default tenant (default: no quota)",
+    )
+    parser.add_argument(
+        "--degrade-queue-depth",
+        type=int,
+        default=None,
+        help="dispatch-queue depth at which sampled-method answers degrade "
+        "to a reduced walk count, flagged degraded: true (default: never)",
+    )
+    parser.add_argument(
+        "--degrade-fraction",
+        type=float,
+        default=0.5,
+        help="fraction of the requested walk count degraded answers keep, "
+        "rounded down to whole shards (default: 0.5)",
     )
     parser.add_argument(
         "--store-budget-mb",
@@ -403,6 +478,11 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
         read_workers=args.read_workers,
         ingest_mode=args.ingest_mode,
         max_num_walks=args.max_num_walks,
+        max_qps=args.max_qps,
+        max_inflight=args.max_inflight,
+        max_queue_depth=args.max_queue_depth,
+        degrade_queue_depth=args.degrade_queue_depth,
+        degrade_fraction=args.degrade_fraction,
         verify_mutations=args.verify_mutations,
         use_topk_index=not args.no_topk_index,
         obs=obs,
@@ -451,7 +531,12 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
             except Exception as error:
                 pending.append((record, None, str(error)))
                 continue
-            pending.append((record, query, service.submit(query)))
+            try:
+                pending.append((record, query, service.submit(query)))
+            except Exception as error:
+                # Synchronous rejection (admission control): render the
+                # structured error in stream order, keep serving.
+                pending.append((record, None, error))
         flush()
 
         if args.stats:

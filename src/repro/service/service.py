@@ -93,6 +93,7 @@ from repro.graph.uncertain_graph import UncertainGraph
 from repro.obs import Gauge, MetricsRegistry, Observability, QueryTrace
 from repro.service.bundle_store import DEFAULT_BUDGET_BYTES, WalkBundleStore
 from repro.service.epoch import EpochLease
+from repro.service.qos import AdmissionController, OverloadedError
 from repro.service.sharding import DEFAULT_SHARD_SIZE, ShardedWalkSampler
 from repro.service.tenancy import (
     DEFAULT_GRAPH_NAME,
@@ -136,6 +137,8 @@ class TopKResult(list):
         "index_build_ms",
         "trace_id",
         "trace_total_ms",
+        "degraded",
+        "walks_used",
     )
 
     def __init__(
@@ -161,6 +164,11 @@ class TopKResult(list):
         # explicitly requested.
         self.trace_id: Optional[int] = None
         self.trace_total_ms: Optional[float] = None
+        # Graceful-degradation provenance: set only when the service answered
+        # this query at a reduced walk count under queue pressure, so
+        # non-degraded response streams stay bit-identical.
+        self.degraded: Optional[bool] = None
+        self.walks_used: Optional[int] = None
 
 
 @dataclass(frozen=True)
@@ -171,6 +179,14 @@ class PairQuery:
     service's default tenant.  ``num_walks`` overrides the tenant's walk
     count for this query only, subject to the tenant's ``max_num_walks``
     admission cap (likewise for the other query types).
+
+    ``accuracy`` switches the query to *adaptive fidelity* (``"sampling"``
+    method only): instead of a fixed walk count, the service grows the walk
+    bundle in deterministic shard increments until the half-width of the
+    normal-approximation confidence interval of the estimate drops to
+    ``accuracy`` (or the tenant's ``max_num_walks`` cap stops it), and the
+    answer carries ``ci_low`` / ``ci_high`` / ``walks_used`` in its details.
+    ``num_walks`` then sets the starting walk count of the search.
     """
 
     u: Vertex
@@ -178,6 +194,7 @@ class PairQuery:
     method: str = "sampling"
     graph: Optional[str] = None
     num_walks: Optional[int] = None
+    accuracy: Optional[float] = None
 
 
 @dataclass(frozen=True)
@@ -224,6 +241,12 @@ class _QueryItem:
     submitted: float = 0.0
     dequeued: float = 0.0
     finished: bool = False
+    # Admission bookkeeping: the tenant name this item holds a quota
+    # reservation on (``None`` for quota-less tenants), and whether its
+    # queued slot was already returned by the dispatcher.  ``_finish_query``
+    # pairs every admit with exactly one release.
+    admitted: Optional[str] = None
+    admission_dispatched: bool = False
 
 
 @dataclass
@@ -266,6 +289,13 @@ class _QueryPlan:
     pairs: List[Tuple[Vertex, Vertex]] = field(default_factory=list)
     items: list = field(default_factory=list)
     k: int = 0
+    # Graceful degradation: this plan's walk count was truncated under queue
+    # pressure; ``walks_used`` is the achieved count stamped on the answer.
+    degraded: bool = False
+    walks_used: Optional[int] = None
+    # Adaptive fidelity: the CI half-width target of an ``accuracy=`` pair
+    # query (answered individually through ``run_adaptive``, never grouped).
+    accuracy: Optional[float] = None
 
 
 class ServiceStats:
@@ -360,7 +390,24 @@ class SimilarityService:
         override it per request).
     max_num_walks:
         Admission cap on per-query ``num_walks`` overrides of tenants
-        created by this service (``None`` = uncapped).
+        created by this service (``None`` = uncapped).  Also caps the walk
+        growth of adaptive ``accuracy=`` queries.
+    max_qps, max_inflight, max_queue_depth:
+        Per-tenant admission quotas of tenants created by this service
+        (all default ``None`` = no quota).  Enforced synchronously at
+        :meth:`submit` by an :class:`~repro.service.qos.AdmissionController`:
+        over-quota submissions raise
+        :class:`~repro.service.qos.OverloadedError` (machine code
+        ``"overloaded"``, ``retry_after_ms`` hint) instead of growing the
+        queue.  Tenants without quotas bypass admission entirely.
+    degrade_queue_depth, degrade_fraction:
+        Graceful degradation under overload: when the dispatch queue is at
+        least ``degrade_queue_depth`` deep at dispatch time (``None`` =
+        never degrade), sampled-method queries of that batch are answered
+        at ``degrade_fraction`` of their requested walk count (rounded down
+        to whole shards, deterministic truncation of the keyed scheme) and
+        their answers carry ``degraded: True`` plus the achieved
+        ``walks_used``.
     seed:
         Base seed of the deterministic sharded sampling scheme (and of the
         engine used by non-sampling fallback methods).
@@ -421,6 +468,11 @@ class SimilarityService:
         read_workers: int = 1,
         ingest_mode: str = "epoch",
         max_num_walks: Optional[int] = None,
+        max_qps: Optional[float] = None,
+        max_inflight: Optional[int] = None,
+        max_queue_depth: Optional[int] = None,
+        degrade_queue_depth: Optional[int] = None,
+        degrade_fraction: float = 0.5,
         registry: Optional[GraphRegistry] = None,
         default_graph: str = DEFAULT_GRAPH_NAME,
         verify_mutations: bool = False,
@@ -449,6 +501,14 @@ class SimilarityService:
                 "provide exactly one of graph= (single tenant) or registry= "
                 "(multi-tenant)"
             )
+        if degrade_queue_depth is not None and degrade_queue_depth < 1:
+            raise InvalidParameterError(
+                f"degrade_queue_depth must be >= 1, got {degrade_queue_depth}"
+            )
+        if not 0.0 < degrade_fraction <= 1.0:
+            raise InvalidParameterError(
+                f"degrade_fraction must be in (0, 1], got {degrade_fraction}"
+            )
         self.default_graph = default_graph
         self.verify_mutations = verify_mutations
         if registry is not None:
@@ -468,6 +528,9 @@ class SimilarityService:
                     executor=executor,
                     store_budget_bytes=store_budget_bytes,
                     max_num_walks=max_num_walks,
+                    max_qps=max_qps,
+                    max_inflight=max_inflight,
+                    max_queue_depth=max_queue_depth,
                     use_topk_index=use_topk_index,
                     topk_index_budget_bytes=topk_index_budget_bytes,
                 ),
@@ -480,9 +543,21 @@ class SimilarityService:
         self.read_workers = int(read_workers)
         self.ingest_mode = ingest_mode
         self.use_topk_index = bool(use_topk_index)
+        self.degrade_queue_depth = (
+            int(degrade_queue_depth) if degrade_queue_depth is not None else None
+        )
+        self.degrade_fraction = float(degrade_fraction)
         self.obs = obs if obs is not None else Observability()
         metrics = self.obs.metrics
         self.stats = ServiceStats(metrics)
+        #: Per-tenant quota enforcement at the submission edge (tenants
+        #: without quotas bypass it — see :mod:`repro.service.qos`).
+        self.admission = AdmissionController(metrics)
+        self._degraded_answers = metrics.counter("qos.degraded_answers")
+        #: Fault-injection seam (tests only): when set, called with each
+        #: query during batch planning; an exception it raises fails that
+        #: query alone, exactly like a real planning/execution fault.
+        self._fail_hook = None
         # Phase-latency histograms of the query pipeline.  With metrics
         # disabled these are the shared no-op singletons, so the observe
         # calls on the hot path cost nothing.
@@ -585,7 +660,12 @@ class SimilarityService:
                 break
             if item is _SHUTDOWN:
                 continue
-            _resolve(item.future, error=RuntimeError("service is closed"))
+            if isinstance(item, _QueryItem):
+                # Through _finish_query so a stranded admitted query still
+                # returns its quota reservation.
+                self._finish_query(item, error=RuntimeError("service is closed"))
+            else:
+                _resolve(item.future, error=RuntimeError("service is closed"))
         if self._owns_registry:
             self.registry.close()
 
@@ -603,20 +683,35 @@ class SimilarityService:
         Returns a :class:`concurrent.futures.Future` resolving to a
         :class:`SimRankResult` (pair queries), ``[(u, v, score)]``
         (top-k-pairs) or ``[(vertex, score)]`` (top-k-for-vertex).
+
+        When the target tenant carries admission quotas (``max_qps`` /
+        ``max_inflight`` / ``max_queue_depth``) and the query would exceed
+        one, :class:`~repro.service.qos.OverloadedError` is raised
+        *synchronously* — the rejected query never enters the queue.
         """
         if not isinstance(query, (PairQuery, TopKPairsQuery, TopKVertexQuery)):
             raise InvalidParameterError(
                 f"unknown query type {type(query).__name__!r}"
             )
+        # Admission before enqueue: backpressure at the door.  Unknown
+        # tenants skip admission and fail at dispatch time as before.
+        name = self.default_graph if query.graph is None else query.graph
+        admitted: Optional[str] = None
+        if name in self.registry:
+            if self.admission.admit(name, self.registry.get(name).config):
+                admitted = name
         future: "Future" = Future()
         item = _QueryItem(
             query,
             future,
             trace=self.obs.begin_trace(type(query).__name__),
             submitted=time.perf_counter(),
+            admitted=admitted,
         )
         with self._lifecycle_lock:
             if self._closed:
+                if admitted is not None:
+                    self.admission.release(admitted, dispatched=False)
                 raise RuntimeError("service is closed")
             self._queue.put(item)
         return future
@@ -628,10 +723,14 @@ class SimilarityService:
         method: str = "sampling",
         graph: Optional[str] = None,
         num_walks: Optional[int] = None,
+        accuracy: Optional[float] = None,
     ) -> SimRankResult:
         """Blocking single-pair similarity query."""
         return self.submit(
-            PairQuery(u, v, method=method, graph=graph, num_walks=num_walks)
+            PairQuery(
+                u, v, method=method, graph=graph, num_walks=num_walks,
+                accuracy=accuracy,
+            )
         ).result()
 
     def top_k_pairs(
@@ -749,6 +848,12 @@ class SimilarityService:
         stats["read_pool_queue_depth"] = max(0, int(self._read_pool_depth.get()))
         stats["writer_queue_depth"] = self._writer_queue.qsize()
         stats["tenants"] = self.registry.stats()
+        stats["qos"] = {
+            "degrade_queue_depth": self.degrade_queue_depth,
+            "degrade_fraction": self.degrade_fraction,
+            "degraded_answers": int(self._degraded_answers.get()),
+            "admission": self.admission.stats(),
+        }
         stats["metrics"] = self.obs.metrics.snapshot()
         stats["tracing"] = self.obs.tracer.enabled
         if self.default_graph in self.registry:
@@ -865,6 +970,16 @@ class SimilarityService:
             if item.trace is not None:
                 item.trace.add_span("dispatch_wait", item.submitted, item.dequeued)
                 item.trace.add_span("coalesce", item.dequeued, dispatched)
+            if item.admitted is not None and not item.admission_dispatched:
+                item.admission_dispatched = True
+                self.admission.mark_dispatched(item.admitted)
+        # Graceful degradation is decided once per batch, at dispatch time:
+        # queue pressure behind this batch means the service is falling
+        # behind, so the whole batch answers at reduced fidelity.
+        degrade = (
+            self.degrade_queue_depth is not None
+            and self._queue.qsize() >= self.degrade_queue_depth
+        )
         # Split the batch per tenant; each group pins its tenant's epoch and
         # runs on the read pool against that immutable snapshot.
         groups: Dict[str, List[_QueryItem]] = {}
@@ -902,6 +1017,7 @@ class SimilarityService:
                 lease,
                 barrier,
                 time.perf_counter(),
+                degrade,
             )
 
     def _record_epoch_pin(self, items: List[_QueryItem], started: float) -> None:
@@ -918,6 +1034,7 @@ class SimilarityService:
         lease: Optional[EpochLease],
         barrier: Optional["Future"],
         pool_submitted: float,
+        degrade: bool = False,
     ) -> None:
         """Read-pool task: answer one tenant group against its pinned epoch."""
         self._read_pool_depth.dec()
@@ -958,7 +1075,7 @@ class SimilarityService:
                 item.trace.open_span("execute")
         try:
             with lease:
-                self._process_tenant_batch(tenant, lease.snapshot, items)
+                self._process_tenant_batch(tenant, lease.snapshot, items, degrade)
         except Exception as error:
             # _process_tenant_batch isolates per-query errors; whatever still
             # escapes fails the group, never the pool worker.
@@ -970,12 +1087,39 @@ class SimilarityService:
         tenant: GraphTenant,
         snapshot: EngineSnapshot,
         batch: List[_QueryItem],
+        degrade: bool = False,
     ) -> None:
         # Validate and plan every query, isolating per-query failures.
         planned: List[Tuple[_QueryItem, _QueryPlan]] = []
         for item in batch:
             try:
-                planned.append((item, self._plan(tenant, snapshot, item.query)))
+                if self._fail_hook is not None:
+                    self._fail_hook(item.query)
+                planned.append(
+                    (item, self._plan(tenant, snapshot, item.query, degrade))
+                )
+            except Exception as error:
+                self._finish_query(item, error=error)
+
+        # Adaptive-fidelity pair queries are answered individually — their
+        # walk count is data-dependent, so they can never share a batch
+        # group — through the sampling executor's shard-growing loop.
+        adaptive = [entry for entry in planned if entry[1].accuracy is not None]
+        planned = [entry for entry in planned if entry[1].accuracy is None]
+        for item, plan in adaptive:
+            executor = executor_for(plan.method)(snapshot)
+            executor.obs_scope = self.obs.scope([item.trace])
+            try:
+                result = executor.run_adaptive(
+                    plan.pairs[0],
+                    plan.accuracy,
+                    shard_size=tenant.config.shard_size,
+                    start_walks=plan.walks,
+                    max_walks=tenant.config.max_num_walks,
+                )
+                self._finish_query(
+                    item, result=self._assemble(tenant, snapshot, plan, [result])
+                )
             except Exception as error:
                 self._finish_query(item, error=error)
 
@@ -1033,9 +1177,12 @@ class SimilarityService:
                 try:
                     self._finish_query(
                         item,
-                        result=self._answer_indexed(
-                            tenant, snapshot, executor, index, plan, overrides,
-                            obs=scope,
+                        result=self._mark_degraded(
+                            plan,
+                            self._answer_indexed(
+                                tenant, snapshot, executor, index, plan,
+                                overrides, obs=scope,
+                            ),
                         ),
                     )
                 except Exception as error:
@@ -1088,9 +1235,12 @@ class SimilarityService:
                 try:
                     self._finish_query(
                         item,
-                        result=self._answer_all_pairs_streamed(
-                            tenant, snapshot, executor, plan, overrides, index,
-                            obs=scope,
+                        result=self._mark_degraded(
+                            plan,
+                            self._answer_all_pairs_streamed(
+                                tenant, snapshot, executor, plan, overrides,
+                                index, obs=scope,
+                            ),
                         ),
                     )
                 except Exception as error:
@@ -1113,6 +1263,11 @@ class SimilarityService:
         """
         if not item.finished:
             item.finished = True
+            if item.admitted is not None:
+                # Return the quota reservation exactly once; an undispatched
+                # item (planning error, closed-service drain) also returns
+                # its queued slot.
+                self.admission.release(item.admitted, item.admission_dispatched)
             self._query_total_ms.observe(
                 1000.0 * (time.perf_counter() - item.submitted)
             )
@@ -1130,6 +1285,23 @@ class SimilarityService:
                         result.details["trace_id"] = item.trace.trace_id
                         result.details["trace_total_ms"] = total_ms
         _resolve(item.future, result=result, error=error)
+
+    def _mark_degraded(self, plan: _QueryPlan, result: object) -> object:
+        """Stamp degradation provenance on a degraded plan's answer.
+
+        A no-op for non-degraded plans, so ordinary response streams carry
+        no new fields and stay bit-identical to the pre-QoS service.
+        """
+        if not plan.degraded:
+            return result
+        self._degraded_answers.inc()
+        if isinstance(result, SimRankResult):
+            result.details["degraded"] = True
+            result.details["walks_used"] = plan.walks_used
+        elif isinstance(result, TopKResult):
+            result.degraded = True
+            result.walks_used = plan.walks_used
+        return result
 
     @staticmethod
     def _index_covers(plan: "_QueryPlan", snapshot: EngineSnapshot) -> bool:
@@ -1168,10 +1340,25 @@ class SimilarityService:
         return walks
 
     def _plan(
-        self, tenant: GraphTenant, snapshot: EngineSnapshot, query: Query
+        self,
+        tenant: GraphTenant,
+        snapshot: EngineSnapshot,
+        query: Query,
+        degrade: bool = False,
     ) -> _QueryPlan:
         """Validate one query and reduce it to the pairs its executor scores."""
         executor_cls = executor_for(query.method)
+        accuracy = getattr(query, "accuracy", None)
+        if accuracy is not None:
+            if query.method != "sampling":
+                raise InvalidParameterError(
+                    f"accuracy= is only supported for method 'sampling', "
+                    f"got {query.method!r}"
+                )
+            if not 0.0 < float(accuracy) < 1.0:
+                raise InvalidParameterError(
+                    f"accuracy must be in (0, 1), got {accuracy}"
+                )
         walks: Optional[int] = None
         if query.num_walks is not None:
             # Uniform admission: the method's executor declares whether a
@@ -1180,10 +1367,33 @@ class SimilarityService:
             # the tenant's max_num_walks cap is applied.
             executor_cls.check_overrides({"num_walks": query.num_walks})
             walks = self._effective_num_walks(tenant, snapshot, query)
-            if walks == snapshot.num_walks:
+            if accuracy is None and walks == snapshot.num_walks:
                 # Normalize an explicit request for the tenant default so it
                 # groups (and shares batch work) with default-walk queries.
+                # Adaptive plans skip this: their num_walks is a starting
+                # count, never a group key.
                 walks = None
+        # Graceful degradation: truncate the walk count of sampled-method
+        # plans to whole shards of the keyed scheme.  Because an N-walk
+        # bundle is the exact prefix of a larger one, the degraded answer
+        # equals a normal query at the truncated count bit for bit.
+        # Adaptive plans manage their own fidelity and are exempt.
+        degraded = False
+        walks_used: Optional[int] = None
+        if (
+            degrade
+            and accuracy is None
+            and "num_walks" in executor_cls.accepted_overrides
+        ):
+            base = walks if walks is not None else snapshot.num_walks
+            shard = tenant.config.shard_size
+            reduced = max(
+                shard, (int(base * self.degrade_fraction) // shard) * shard
+            )
+            if reduced < base:
+                walks = reduced
+                degraded = True
+                walks_used = reduced
         csr = snapshot.csr
 
         def require(vertex: Vertex) -> None:
@@ -1196,7 +1406,13 @@ class SimilarityService:
             require(query.u)
             require(query.v)
             return _QueryPlan(
-                "pair", query.method, walks, pairs=[(query.u, query.v)]
+                "pair",
+                query.method,
+                walks,
+                pairs=[(query.u, query.v)],
+                degraded=degraded,
+                walks_used=walks_used,
+                accuracy=float(accuracy) if accuracy is not None else None,
             )
         if isinstance(query, TopKVertexQuery):
             if query.k < 1:
@@ -1218,6 +1434,8 @@ class SimilarityService:
                 pairs=[(query.query, candidate) for candidate in candidates],
                 items=candidates,
                 k=query.k,
+                degraded=degraded,
+                walks_used=walks_used,
             )
         if query.k < 1:
             raise InvalidParameterError(f"k must be >= 1, got {query.k}")
@@ -1226,13 +1444,27 @@ class SimilarityService:
             # rather than planned here: scoring it as one batch would pin
             # every vertex's bundle live at once, defeating the store's LRU
             # budget.
-            return _QueryPlan("all_pairs", query.method, walks, k=query.k)
+            return _QueryPlan(
+                "all_pairs",
+                query.method,
+                walks,
+                k=query.k,
+                degraded=degraded,
+                walks_used=walks_used,
+            )
         pairs = [(u, v) for u, v in query.candidate_pairs]
         for u, v in pairs:
             require(u)
             require(v)
         return _QueryPlan(
-            "topk_pairs", query.method, walks, pairs=pairs, items=pairs, k=query.k
+            "topk_pairs",
+            query.method,
+            walks,
+            pairs=pairs,
+            items=pairs,
+            k=query.k,
+            degraded=degraded,
+            walks_used=walks_used,
         )
 
     def _assemble(
@@ -1247,7 +1479,7 @@ class SimilarityService:
             result = results[0]
             result.details["service"] = True
             result.details["graph"] = tenant.name
-            return result
+            return self._mark_degraded(plan, result)
         # Scores come from the same executors as pair queries, so a top-k
         # entry and the corresponding pair query agree bit-for-bit; ranking
         # is deterministic (ties keep candidate order).
@@ -1260,11 +1492,14 @@ class SimilarityService:
                 (plan.items[index][0], plan.items[index][1], scores[index])
                 for index in order
             ]
-        return TopKResult(
-            ranked,
-            epoch=snapshot.epoch_id,
-            graph_version=snapshot.graph_version,
-            graph=tenant.name,
+        return self._mark_degraded(
+            plan,
+            TopKResult(
+                ranked,
+                epoch=snapshot.epoch_id,
+                graph_version=snapshot.graph_version,
+                graph=tenant.name,
+            ),
         )
 
     def _answer_indexed(

@@ -119,6 +119,11 @@ class ShardedWalkSampler:
         self.shard_size = int(shard_size)
         self.num_workers = int(num_workers)
         self.executor = executor
+        #: Fault-injection seam (tests only): when set, called at the top of
+        #: every :meth:`sample_bundles`; an exception it raises propagates to
+        #: the caller exactly like a real sampling failure (worker crash,
+        #: memory error), which is what the chaos tests inject.
+        self._fail_hook: Optional[callable] = None
         self._pool: Optional[Executor] = None
         # Strong reference to the snapshot the pool was initialized with: a
         # process pool carries copies of these arrays, and comparing by
@@ -234,6 +239,8 @@ class ShardedWalkSampler:
         shard_size)`` shards each; the full shard list of the batch is spread
         over the pool.  Returns ``{(vertex_index, twin): matrix}``.
         """
+        if self._fail_hook is not None:
+            self._fail_hook()
         if num_walks < 1:
             raise InvalidParameterError(f"num_walks must be >= 1, got {num_walks}")
         unique: List[BundleRequest] = []

@@ -275,6 +275,16 @@ class TenantConfig:
     #: Byte budget of the tenant's per-epoch top-k index artifacts
     #: (``None`` = unbounded).
     topk_index_budget_bytes: Optional[int] = DEFAULT_INDEX_BUDGET_BYTES
+    #: Sustained queries-per-second admission quota (token bucket with a
+    #: one-second burst; ``None`` = unlimited).  Over-quota submissions are
+    #: rejected with a structured ``overloaded`` error instead of queued.
+    max_qps: Optional[float] = None
+    #: Maximum queries of this tenant admitted and not yet answered
+    #: (``None`` = unlimited).
+    max_inflight: Optional[int] = None
+    #: Maximum queries of this tenant sitting in the dispatch queue
+    #: (admitted, not yet handed to the read pool; ``None`` = unlimited).
+    max_queue_depth: Optional[int] = None
 
     def replace(self, **overrides: object) -> "TenantConfig":
         """A copy with the given fields overridden (unknown fields rejected)."""
@@ -351,6 +361,18 @@ class GraphTenant:
         if config.max_num_walks is not None and config.max_num_walks < 1:
             raise InvalidParameterError(
                 f"max_num_walks must be >= 1 or None, got {config.max_num_walks}"
+            )
+        if config.max_qps is not None and not config.max_qps > 0:
+            raise InvalidParameterError(
+                f"max_qps must be > 0 or None, got {config.max_qps}"
+            )
+        if config.max_inflight is not None and config.max_inflight < 1:
+            raise InvalidParameterError(
+                f"max_inflight must be >= 1 or None, got {config.max_inflight}"
+            )
+        if config.max_queue_depth is not None and config.max_queue_depth < 1:
+            raise InvalidParameterError(
+                f"max_queue_depth must be >= 1 or None, got {config.max_queue_depth}"
             )
         self.name = name
         self.graph = graph
@@ -596,6 +618,11 @@ class GraphTenant:
             "num_walks": self.config.num_walks,
             "iterations": self.config.iterations,
             "max_num_walks": self.config.max_num_walks,
+            "quotas": {
+                "max_qps": self.config.max_qps,
+                "max_inflight": self.config.max_inflight,
+                "max_queue_depth": self.config.max_queue_depth,
+            },
             "epochs": self.epochs.stats(),
             "topk_index": self.topk_index_stats(),
             "ingest": {

@@ -1,11 +1,25 @@
-"""Error and bias statistics used across the evaluation harness."""
+"""Error, bias, and confidence-interval statistics.
+
+Besides the evaluation-harness helpers (relative error, bias summaries),
+this module holds the interval math of the service's adaptive-fidelity
+query mode: normal (Wald) intervals over batch-means standard errors and
+Wilson score intervals for per-step meeting proportions.  All interval
+helpers clip to ``[0, 1]`` — SimRank scores and meeting probabilities live
+there by construction — and are deterministic pure functions of their
+inputs, so CI responses are as reproducible as the keyed walks beneath
+them.
+"""
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
 
 import numpy as np
+
+#: z-score of the default (two-sided) 95% confidence level.
+DEFAULT_Z = 1.959963984540054
 
 
 def relative_error(estimate: float, reference: float, eps: float = 1e-12) -> float:
@@ -75,6 +89,79 @@ def summarize_bias(reference: Sequence[float], other: Sequence[float]) -> BiasSu
         maximum=float(diff.max()),
         minimum=float(diff.min()),
     )
+
+
+def batch_means_stderr(shard_values: Sequence[float]) -> float:
+    """Standard error of the mean from per-shard (batch) means.
+
+    The sampled estimators split their ``N`` walks into fixed-size shards
+    whose per-shard scores are independent, identically distributed batch
+    means; the standard error of their grand mean is the between-shard
+    sample standard deviation over ``sqrt(num_shards)``.  Degenerate inputs
+    (all shards equal — e.g. every walk outcome zero) yield ``0.0``.
+
+    Requires at least two shards: one batch mean carries no variance
+    information.
+    """
+    arr = np.asarray(shard_values, dtype=float)
+    if arr.size < 2:
+        raise ValueError(
+            f"batch_means_stderr needs >= 2 shard values, got {arr.size}"
+        )
+    return float(arr.std(ddof=1) / math.sqrt(arr.size))
+
+
+def normal_interval(
+    mean: float,
+    stderr: float,
+    z: float = DEFAULT_Z,
+    clip: Optional[Tuple[float, float]] = (0.0, 1.0),
+) -> Tuple[float, float]:
+    """Normal (Wald) confidence interval ``mean ± z * stderr``.
+
+    ``clip`` bounds the interval to the estimand's known domain (SimRank
+    scores live in ``[0, 1]``); pass ``None`` to disable clipping.  The
+    point estimate itself is *not* moved — only the interval endpoints are
+    clipped — so the interval always contains the (clipped) estimate.
+    """
+    if stderr < 0:
+        raise ValueError(f"stderr must be >= 0, got {stderr}")
+    if z < 0:
+        raise ValueError(f"z must be >= 0, got {z}")
+    low = mean - z * stderr
+    high = mean + z * stderr
+    if clip is not None:
+        low = min(max(low, clip[0]), clip[1])
+        high = min(max(high, clip[0]), clip[1])
+    return (low, high)
+
+
+def wilson_interval(
+    successes: float, trials: int, z: float = DEFAULT_Z
+) -> Tuple[float, float]:
+    """Wilson score interval for a binomial proportion.
+
+    Unlike the Wald interval, Wilson stays inside ``(0, 1)`` and behaves at
+    the degenerate boundaries (0 or ``trials`` successes), which is exactly
+    the regime of per-step meeting proportions: most pairs never meet at a
+    given step, so the observed proportion is frequently 0.
+    """
+    if trials < 1:
+        raise ValueError(f"trials must be >= 1, got {trials}")
+    if not 0 <= successes <= trials:
+        raise ValueError(
+            f"successes must be in [0, trials], got {successes} of {trials}"
+        )
+    if z < 0:
+        raise ValueError(f"z must be >= 0, got {z}")
+    p = successes / trials
+    z2 = z * z
+    denom = 1.0 + z2 / trials
+    center = (p + z2 / (2.0 * trials)) / denom
+    spread = (
+        z * math.sqrt(p * (1.0 - p) / trials + z2 / (4.0 * trials * trials)) / denom
+    )
+    return (max(0.0, center - spread), min(1.0, center + spread))
 
 
 def normalize_to_unit_interval(values: Sequence[float]) -> np.ndarray:

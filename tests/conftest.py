@@ -2,10 +2,43 @@
 
 from __future__ import annotations
 
+import faulthandler
+
 import numpy as np
 import pytest
 
 from repro.graph.uncertain_graph import UncertainGraph, example_graph
+
+
+def pytest_configure(config: "pytest.Config") -> None:
+    config.addinivalue_line(
+        "markers",
+        "watchdog(seconds): dump all thread stacks and abort the test run if "
+        "the marked test exceeds the deadline (stdlib faulthandler — guards "
+        "concurrent suites against deadlocks without external plugins)",
+    )
+
+
+@pytest.fixture(autouse=True)
+def _watchdog(request: "pytest.FixtureRequest"):
+    """Per-test deadlock guard for concurrency-heavy suites.
+
+    Tests (or classes/modules) marked ``@pytest.mark.watchdog(seconds)`` arm
+    :func:`faulthandler.dump_traceback_later`: if the test is still running
+    when the deadline passes, every thread's stack is dumped to stderr and
+    the process exits — turning a silent CI hang (stuck ingest barrier,
+    leaked lock) into an actionable traceback.  Unmarked tests pay nothing.
+    """
+    marker = request.node.get_closest_marker("watchdog")
+    if marker is None:
+        yield
+        return
+    seconds = float(marker.args[0]) if marker.args else 120.0
+    faulthandler.dump_traceback_later(seconds, exit=True)
+    try:
+        yield
+    finally:
+        faulthandler.cancel_dump_traceback_later()
 
 
 @pytest.fixture

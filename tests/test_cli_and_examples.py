@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import io
+import json
 import subprocess
 import sys
 from pathlib import Path
@@ -9,6 +11,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.__main__ import EXPERIMENTS, main
+from repro.service.runner import run
 
 EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
 
@@ -29,6 +32,7 @@ class TestCLI:
             "methods",
             "topk_index",
             "obs",
+            "qos",
             "case-ppi",
             "case-er",
         } == set(EXPERIMENTS)
@@ -45,6 +49,106 @@ class TestCLI:
     def test_quick_flag_accepted(self, capsys):
         assert main(["datasets", "--quick"]) == 0
         assert "paper |V|" in capsys.readouterr().out
+
+
+class TestRunnerErrorPaths:
+    """Malformed or over-limit requests yield structured errors in stream
+    order — with the request ``id`` echoed — and never stop the runner."""
+
+    def _run(self, requests, extra_args=()):
+        lines = [
+            r if isinstance(r, str) else json.dumps(r) for r in requests
+        ]
+        stdout = io.StringIO()
+        code = run(
+            ["--graph", "example", "--seed", "7", "--num-walks", "64",
+             *extra_args],
+            stdin=io.StringIO("\n".join(lines) + "\n"),
+            stdout=stdout,
+            stderr=io.StringIO(),
+        )
+        assert code == 0
+        return [json.loads(line) for line in stdout.getvalue().splitlines()]
+
+    def test_malformed_json_yields_error_and_stream_continues(self):
+        responses = self._run(
+            [
+                "{not json",
+                {"op": "pair", "u": "v1", "v": "v2", "id": "ok-1"},
+            ]
+        )
+        assert len(responses) == 2
+        assert "error" in responses[0]
+        assert responses[1]["id"] == "ok-1"
+        assert "score" in responses[1]
+
+    def test_unknown_op_yields_error_with_request_id(self):
+        responses = self._run(
+            [
+                {"op": "frobnicate", "id": "bad-op"},
+                {"op": "pair", "u": "v1", "v": "v2", "id": "ok-2"},
+            ]
+        )
+        assert responses[0]["id"] == "bad-op"
+        assert "unknown op" in responses[0]["error"]
+        assert responses[1]["id"] == "ok-2" and "score" in responses[1]
+
+    def test_num_walks_above_cap_yields_error(self):
+        responses = self._run(
+            [
+                {"op": "pair", "u": "v1", "v": "v2", "num_walks": 4096,
+                 "id": "capped"},
+                {"op": "pair", "u": "v1", "v": "v2", "id": "ok-3"},
+            ],
+            extra_args=("--max-num-walks", "128"),
+        )
+        assert responses[0]["id"] == "capped"
+        assert "max_num_walks" in responses[0]["error"]
+        assert responses[1]["id"] == "ok-3" and "score" in responses[1]
+
+    def test_over_quota_request_sheds_with_code_and_retry_hint(self):
+        responses = self._run(
+            [
+                {"op": "pair", "u": "v1", "v": "v2", "id": "q1"},
+                {"op": "pair", "u": "v1", "v": "v3", "id": "q2"},
+                {"op": "pair", "u": "v2", "v": "v3", "id": "q3"},
+            ],
+            extra_args=("--max-qps", "1"),
+        )
+        assert "score" in responses[0]
+        shed = [r for r in responses if r.get("code") == "overloaded"]
+        assert len(shed) == 2
+        for response in shed:
+            assert response["retry_after_ms"] >= 0
+            assert "overloaded" in response["error"]
+
+    def test_accuracy_answers_carry_interval_fields(self):
+        responses = self._run(
+            [{"op": "pair", "u": "v1", "v": "v2", "accuracy": 0.1,
+              "id": "ci"}]
+        )
+        (response,) = responses
+        assert response["ci_low"] <= response["score"] <= response["ci_high"]
+        assert response["walks_used"] >= 2
+
+    def test_accuracy_rejects_exact_method(self):
+        responses = self._run(
+            [{"op": "pair", "u": "v1", "v": "v2", "method": "baseline",
+              "accuracy": 0.1, "id": "bad"}]
+        )
+        assert responses[0]["id"] == "bad"
+        assert "accuracy" in responses[0]["error"]
+
+    def test_plain_responses_carry_no_qos_fields(self):
+        """New response fields appear only when their feature triggers."""
+        responses = self._run(
+            [{"op": "pair", "u": "v1", "v": "v2"}],
+            extra_args=("--max-qps", "100", "--degrade-queue-depth", "64"),
+        )
+        (response,) = responses
+        for forbidden in ("code", "retry_after_ms", "degraded", "ci_low",
+                          "walks_used"):
+            assert forbidden not in response
 
 
 class TestExamples:

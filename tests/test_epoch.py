@@ -276,6 +276,7 @@ class TestPerQueryNumWalks:
         assert result.details["num_walks"] == 64
 
 
+@pytest.mark.watchdog(180)
 class TestReadPool:
     def test_results_bit_identical_across_read_worker_counts(self, paper_graph):
         """Acceptance pin: read_workers never affects any answer."""
@@ -390,6 +391,7 @@ def _expected_scores(states: dict, pair, num_walks: int, seed: int) -> dict:
     return expected
 
 
+@pytest.mark.watchdog(180)
 class TestConcurrentIngestStress:
     def test_stress_interleaved_mutations_and_queries_bit_identical(self):
         """Acceptance: 2 tenants, concurrent mutate() + queries on a
@@ -603,6 +605,7 @@ class TestConcurrentIngestStress:
         registry.close()
 
 
+@pytest.mark.watchdog(180)
 class TestExactMethodsThroughService:
     """Satellite acceptance: ``two_phase`` and ``speedup`` answers through
     the service (read_workers=4, under concurrent ingest) are bit-identical

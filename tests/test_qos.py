@@ -1,0 +1,415 @@
+"""Admission control, graceful degradation, and adaptive-fidelity tests.
+
+Covers the QoS layer end to end:
+
+* :class:`TokenBucket` / :class:`AdmissionController` unit behaviour under
+  a fake clock (deterministic rate decisions, release pairing).
+* Service-level admission: over-quota submissions raise
+  :class:`OverloadedError` synchronously with a machine ``code`` and a
+  ``retry_after_ms`` hint; capacity returns when queries finish; tenants
+  without quotas are never tracked.
+* Graceful degradation: under queue pressure answers come back flagged
+  ``degraded`` at a deterministically truncated walk count — bit-identical
+  to a plain query at that count — and stop degrading when pressure clears.
+* Adaptive fidelity: ``accuracy=`` pair queries return an interval
+  containing the estimate, grow walks deterministically, respect the
+  tenant's ``max_num_walks`` cap, and reject non-sampling methods.
+* Bit-identity: a service with quotas configured (but not exceeded)
+  answers exactly like the quota-less service.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service import (
+    AdmissionController,
+    OverloadedError,
+    PairQuery,
+    SimilarityService,
+    TokenBucket,
+    TopKVertexQuery,
+)
+from repro.service.tenancy import TenantConfig
+from repro.utils.errors import InvalidParameterError
+
+
+class FakeClock:
+    """A manually-advanced monotonic clock for deterministic rate tests."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def advance(self, seconds: float) -> None:
+        self.now += seconds
+
+
+class TestTokenBucket:
+    def test_starts_full_and_depletes(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, clock=clock)
+        assert bucket.try_acquire()
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_refills_at_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, clock=clock)
+        assert bucket.try_acquire() and bucket.try_acquire()
+        clock.advance(0.5)  # refills one token at 2/s
+        assert bucket.try_acquire()
+        assert not bucket.try_acquire()
+
+    def test_burst_caps_accumulation(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=4.0, clock=clock)
+        clock.advance(100.0)
+        taken = sum(bucket.try_acquire() for _ in range(20))
+        assert taken == 4  # burst = one second of rate
+
+    def test_sub_unit_rate_still_admits(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=0.5, clock=clock)
+        assert bucket.try_acquire()  # burst floor of 1 token
+        assert not bucket.try_acquire()
+        clock.advance(2.0)
+        assert bucket.try_acquire()
+
+    def test_retry_after_matches_rate(self):
+        clock = FakeClock()
+        bucket = TokenBucket(rate=2.0, clock=clock)
+        while bucket.try_acquire():
+            pass
+        assert bucket.retry_after_seconds() == pytest.approx(0.5)
+        clock.advance(0.25)
+        assert bucket.retry_after_seconds() == pytest.approx(0.25)
+
+    def test_rejects_bad_rate(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate=0.0)
+
+
+class TestAdmissionController:
+    def _config(self, **kwargs) -> TenantConfig:
+        return TenantConfig(**kwargs)
+
+    def test_quota_less_tenant_is_untracked(self):
+        controller = AdmissionController(clock=FakeClock())
+        assert not controller.admit("g", self._config())
+        assert controller.stats() == {}
+
+    def test_max_inflight_sheds_and_releases(self):
+        controller = AdmissionController(clock=FakeClock())
+        config = self._config(max_inflight=2)
+        assert controller.admit("g", config)
+        assert controller.admit("g", config)
+        with pytest.raises(OverloadedError) as excinfo:
+            controller.admit("g", config)
+        assert excinfo.value.quota == "max_inflight"
+        assert excinfo.value.code == "overloaded"
+        controller.release("g", dispatched=False)
+        assert controller.admit("g", config)
+
+    def test_max_queue_depth_clears_on_dispatch(self):
+        controller = AdmissionController(clock=FakeClock())
+        config = self._config(max_queue_depth=1, max_inflight=10)
+        assert controller.admit("g", config)
+        with pytest.raises(OverloadedError) as excinfo:
+            controller.admit("g", config)
+        assert excinfo.value.quota == "max_queue_depth"
+        # Dispatch frees the queue slot while the query is still inflight.
+        controller.mark_dispatched("g")
+        assert controller.admit("g", config)
+
+    def test_qps_rejection_carries_retry_hint(self):
+        clock = FakeClock()
+        controller = AdmissionController(clock=clock)
+        config = self._config(max_qps=2.0)
+        assert controller.admit("g", config)
+        assert controller.admit("g", config)
+        with pytest.raises(OverloadedError) as excinfo:
+            controller.admit("g", config)
+        assert excinfo.value.quota == "max_qps"
+        assert excinfo.value.retry_after_ms == pytest.approx(500.0)
+
+    def test_stats_count_admitted_and_shed(self):
+        controller = AdmissionController(clock=FakeClock())
+        config = self._config(max_inflight=1)
+        controller.admit("g", config)
+        for _ in range(3):
+            with pytest.raises(OverloadedError):
+                controller.admit("g", config)
+        stats = controller.stats()["g"]
+        assert stats["admitted"] == 1
+        assert stats["shed"] == 3
+        assert stats["inflight"] == 1
+        assert stats["queued"] == 1
+
+    def test_tenants_are_independent(self):
+        controller = AdmissionController(clock=FakeClock())
+        config = self._config(max_inflight=1)
+        controller.admit("a", config)
+        with pytest.raises(OverloadedError):
+            controller.admit("a", config)
+        assert controller.admit("b", config)
+
+
+class TestTenantQuotaValidation:
+    def test_rejects_bad_quota_values(self, paper_graph):
+        for kwargs in (
+            {"max_qps": 0.0},
+            {"max_qps": -1.0},
+            {"max_inflight": 0},
+            {"max_queue_depth": 0},
+        ):
+            with pytest.raises(InvalidParameterError):
+                with SimilarityService(paper_graph, num_walks=64, seed=7, **kwargs):
+                    pass
+
+    def test_quotas_surface_in_tenant_stats(self, paper_graph):
+        with SimilarityService(
+            paper_graph, num_walks=64, seed=7,
+            max_qps=5.0, max_inflight=3, max_queue_depth=8,
+        ) as service:
+            quotas = service.service_stats()["tenants"]["default"]["quotas"]
+        assert quotas == {
+            "max_qps": 5.0, "max_inflight": 3, "max_queue_depth": 8,
+        }
+
+
+@pytest.mark.watchdog(180)
+class TestServiceAdmission:
+    def test_qps_quota_sheds_with_structured_error(self, paper_graph):
+        with SimilarityService(
+            paper_graph, num_walks=128, seed=7, max_qps=1.0
+        ) as service:
+            assert service.pair("v1", "v2").score >= 0.0
+            with pytest.raises(OverloadedError) as excinfo:
+                service.submit(PairQuery("v1", "v3"))
+            error = excinfo.value
+            assert error.code == "overloaded"
+            assert error.quota == "max_qps"
+            assert error.retry_after_ms > 0
+            stats = service.service_stats()["qos"]["admission"]["default"]
+            assert stats["shed"] == 1
+            assert stats["admitted"] == 1
+
+    def test_inflight_capacity_returns_after_completion(self, paper_graph):
+        with SimilarityService(
+            paper_graph, num_walks=128, seed=7, max_inflight=1
+        ) as service:
+            # Sequential blocking queries never trip max_inflight=1: the
+            # reservation is released when each query resolves.
+            for _ in range(5):
+                service.pair("v1", "v2")
+            stats = service.service_stats()["qos"]["admission"]["default"]
+            assert stats["shed"] == 0
+            assert stats["inflight"] == 0
+            assert stats["queued"] == 0
+
+    def test_rejected_queries_leave_no_reservation(self, paper_graph):
+        with SimilarityService(
+            paper_graph, num_walks=128, seed=7, max_qps=1.0
+        ) as service:
+            service.pair("v1", "v2")
+            for _ in range(3):
+                with pytest.raises(OverloadedError):
+                    service.submit(PairQuery("v1", "v3"))
+            stats = service.service_stats()["qos"]["admission"]["default"]
+            assert stats["inflight"] == 0
+            assert stats["queued"] == 0
+
+    def test_failed_query_still_releases_quota(self, paper_graph):
+        with SimilarityService(
+            paper_graph, num_walks=128, seed=7, max_inflight=2
+        ) as service:
+            with pytest.raises(InvalidParameterError):
+                service.pair("v1", "no-such-vertex")
+            stats = service.service_stats()["qos"]["admission"]["default"]
+            assert stats["inflight"] == 0
+            assert stats["queued"] == 0
+            # Capacity fully restored: fill both slots again.
+            assert service.pair("v1", "v2").score >= 0.0
+
+    def test_quota_tenant_isolated_from_free_tenant(self, paper_graph):
+        with SimilarityService(
+            paper_graph, num_walks=128, seed=7, max_qps=1.0
+        ) as service:
+            service.create_graph("open", paper_graph.copy(), max_qps=None)
+            service.pair("v1", "v2")
+            with pytest.raises(OverloadedError):
+                service.submit(PairQuery("v1", "v3"))
+            # The unquota'd tenant keeps answering.
+            for _ in range(4):
+                assert service.pair("v1", "v2", graph="open").score >= 0.0
+
+    def test_quota_service_answers_bit_identical(self, paper_graph):
+        with SimilarityService(paper_graph, num_walks=256, seed=7) as plain:
+            expected_pair = plain.pair("v1", "v2")
+            expected_topk = plain.top_k_for_vertex("v1", 3)
+        with SimilarityService(
+            paper_graph, num_walks=256, seed=7,
+            max_qps=1000.0, max_inflight=64, max_queue_depth=64,
+        ) as gated:
+            got_pair = gated.pair("v1", "v2")
+            got_topk = gated.top_k_for_vertex("v1", 3)
+        assert got_pair.score == expected_pair.score
+        assert got_pair.meeting_probabilities == expected_pair.meeting_probabilities
+        assert list(got_topk) == list(expected_topk)
+
+
+@pytest.mark.watchdog(180)
+class TestGracefulDegradation:
+    def _degraded_results(self, graph, **service_kwargs):
+        kwargs = dict(
+            num_walks=512, seed=7, shard_size=128,
+            degrade_queue_depth=2, max_batch_size=1, batch_wait_seconds=0.0,
+        )
+        kwargs.update(service_kwargs)
+        with SimilarityService(graph, **kwargs) as service:
+            futures = [
+                service.submit(PairQuery("v1", "v2")) for _ in range(30)
+            ]
+            results = [future.result() for future in futures]
+            stats = service.service_stats()["qos"]
+        return results, stats
+
+    def test_degraded_answers_flagged_and_counted(self, paper_graph):
+        results, stats = self._degraded_results(paper_graph)
+        degraded = [r for r in results if r.details.get("degraded")]
+        # The first dispatch may race the submission loop, but sustained
+        # pressure must degrade the bulk of the burst.
+        assert len(degraded) >= 10
+        assert stats["degraded_answers"] == len(degraded)
+        for result in degraded:
+            assert result.details["degraded"] is True
+            assert result.details["walks_used"] == 256
+            assert result.details["num_walks"] == 256
+
+    def test_degraded_answer_bit_identical_to_truncated_query(self, paper_graph):
+        results, _ = self._degraded_results(paper_graph)
+        degraded = next(r for r in results if r.details.get("degraded"))
+        with SimilarityService(
+            paper_graph, num_walks=512, seed=7, shard_size=128
+        ) as reference:
+            plain = reference.pair(
+                "v1", "v2", num_walks=degraded.details["walks_used"]
+            )
+        assert degraded.score == plain.score
+        assert degraded.meeting_probabilities == plain.meeting_probabilities
+
+    def test_degraded_topk_carries_walks_used(self, paper_graph):
+        with SimilarityService(
+            paper_graph, num_walks=512, seed=7, shard_size=128,
+            degrade_queue_depth=2, max_batch_size=1, batch_wait_seconds=0.0,
+        ) as service:
+            futures = [
+                service.submit(TopKVertexQuery("v1", 3)) for _ in range(20)
+            ]
+            results = [future.result() for future in futures]
+        degraded = [r for r in results if getattr(r, "degraded", None)]
+        assert degraded
+        for result in degraded:
+            assert result.walks_used == 256
+        # Degraded ranking equals a plain query at the truncated count.
+        with SimilarityService(
+            paper_graph, num_walks=512, seed=7, shard_size=128
+        ) as reference:
+            expected = reference.top_k_for_vertex("v1", 3, num_walks=256)
+        assert list(degraded[0]) == list(expected)
+
+    def test_no_pressure_means_no_degradation(self, paper_graph):
+        with SimilarityService(
+            paper_graph, num_walks=512, seed=7, shard_size=128,
+            degrade_queue_depth=2,
+        ) as service:
+            result = service.pair("v1", "v2")
+            stats = service.service_stats()["qos"]
+        assert "degraded" not in result.details
+        assert stats["degraded_answers"] == 0
+
+    def test_truncation_never_drops_below_one_shard(self, paper_graph):
+        results, _ = self._degraded_results(
+            paper_graph, num_walks=128, shard_size=128, degrade_fraction=0.1
+        )
+        # 128 walks at fraction 0.1 would round to 0; the shard floor keeps
+        # the full (single-shard) bundle instead, so nothing degrades.
+        assert not any(r.details.get("degraded") for r in results)
+
+    def test_degrade_knob_validation(self, paper_graph):
+        with pytest.raises(InvalidParameterError):
+            SimilarityService(paper_graph, degrade_queue_depth=0)
+        with pytest.raises(InvalidParameterError):
+            SimilarityService(paper_graph, degrade_fraction=0.0)
+        with pytest.raises(InvalidParameterError):
+            SimilarityService(paper_graph, degrade_fraction=1.5)
+
+
+class TestAdaptiveFidelity:
+    def test_interval_contains_estimate(self, paper_graph):
+        with SimilarityService(paper_graph, num_walks=256, seed=7) as service:
+            result = service.pair("v1", "v2", accuracy=0.05)
+        details = result.details
+        assert details["ci_low"] <= result.score <= details["ci_high"]
+        assert 0.0 <= details["ci_low"] <= details["ci_high"] <= 1.0
+        assert details["walks_used"] >= 2
+        assert details["accuracy_target"] == 0.05
+        if details["converged"]:
+            assert details["ci_halfwidth"] <= 0.05
+
+    def test_adaptive_is_deterministic(self, paper_graph):
+        def run():
+            with SimilarityService(
+                paper_graph, num_walks=256, seed=7
+            ) as service:
+                return service.pair("v1", "v2", accuracy=0.02)
+
+        first, second = run(), run()
+        assert first.score == second.score
+        assert first.details["walks_used"] == second.details["walks_used"]
+        assert first.details["ci_low"] == second.details["ci_low"]
+        assert first.details["ci_high"] == second.details["ci_high"]
+
+    def test_tighter_target_uses_more_walks(self, paper_graph):
+        with SimilarityService(paper_graph, num_walks=256, seed=7) as service:
+            loose = service.pair("v1", "v2", accuracy=0.2)
+            tight = service.pair("v1", "v2", accuracy=0.005)
+        assert tight.details["walks_used"] >= loose.details["walks_used"]
+
+    def test_max_num_walks_caps_growth(self, paper_graph):
+        with SimilarityService(
+            paper_graph, num_walks=256, seed=7, max_num_walks=512
+        ) as service:
+            result = service.pair("v1", "v2", accuracy=1e-6)
+        assert result.details["walks_used"] == 512
+        assert result.details["converged"] is False
+
+    def test_adaptive_matches_fixed_walk_run(self, paper_graph):
+        """The adaptive answer at N walks equals a plain query at N walks."""
+        with SimilarityService(paper_graph, num_walks=256, seed=7) as service:
+            adaptive = service.pair("v1", "v2", accuracy=0.05)
+            fixed = service.pair(
+                "v1", "v2", num_walks=adaptive.details["walks_used"]
+            )
+        assert adaptive.score == fixed.score
+        assert adaptive.meeting_probabilities == fixed.meeting_probabilities
+
+    def test_rejects_non_sampling_method(self, paper_graph):
+        with SimilarityService(paper_graph, num_walks=128, seed=7) as service:
+            with pytest.raises(InvalidParameterError, match="accuracy"):
+                service.pair("v1", "v2", method="baseline", accuracy=0.05)
+
+    def test_rejects_out_of_range_target(self, paper_graph):
+        with SimilarityService(paper_graph, num_walks=128, seed=7) as service:
+            for bad in (0.0, 1.0, -0.1, 2.0):
+                with pytest.raises(InvalidParameterError, match="accuracy"):
+                    service.pair("v1", "v2", accuracy=bad)
+
+    def test_num_walks_seeds_the_starting_count(self, paper_graph):
+        with SimilarityService(paper_graph, num_walks=256, seed=7) as service:
+            result = service.pair("v1", "v2", accuracy=0.9, num_walks=1024)
+        # A loose target converges immediately at the requested start count.
+        assert result.details["walks_used"] == 1024

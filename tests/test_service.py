@@ -164,6 +164,7 @@ class TestShardedWalkSampler:
             ShardedWalkSampler(num_workers=0)
 
 
+@pytest.mark.watchdog(180)
 class TestSimilarityService:
     def test_pair_matches_bundles_exactly(self, paper_graph):
         """A pair answer is exactly the estimate of the deterministic bundles."""
@@ -376,6 +377,7 @@ class TestSimilarityService:
                 service.submit(("v1", "v2"))
 
 
+@pytest.mark.watchdog(180)
 class TestGroupFailureIsolation:
     def test_one_failing_query_does_not_fail_its_group(self, paper_graph, monkeypatch):
         """A runtime failure inside the grouped run_batch is retried per

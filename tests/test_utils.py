@@ -11,12 +11,16 @@ from hypothesis import given, strategies as st
 from repro.utils.errors import GraphFormatError, InvalidParameterError, ReproError
 from repro.utils.rng import ensure_rng, spawn_rngs
 from repro.utils.stats import (
+    DEFAULT_Z,
     BiasSummary,
+    batch_means_stderr,
     mean_and_max,
+    normal_interval,
     normalize_to_unit_interval,
     relative_error,
     relative_errors,
     summarize_bias,
+    wilson_interval,
 )
 from repro.utils.timer import Timer, time_call, timed
 
@@ -157,6 +161,137 @@ class TestTimer:
         result, elapsed = time_call(sum, [1, 2, 3])
         assert result == 6
         assert elapsed >= 0.0
+
+
+class TestBatchMeansStderr:
+    def test_matches_manual_computation(self):
+        values = [0.1, 0.2, 0.3, 0.4]
+        expected = np.std(values, ddof=1) / np.sqrt(len(values))
+        assert batch_means_stderr(values) == pytest.approx(expected)
+
+    def test_constant_shards_have_zero_stderr(self):
+        assert batch_means_stderr([0.25, 0.25, 0.25]) == 0.0
+
+    def test_needs_two_shards(self):
+        with pytest.raises(ValueError):
+            batch_means_stderr([0.5])
+
+    def test_half_width_shrinks_like_inverse_sqrt_n(self):
+        """Averaging k× more i.i.d. shards shrinks the stderr ~1/sqrt(k)."""
+        rng = np.random.default_rng(99)
+        population = rng.uniform(0.0, 1.0, size=4096)
+        small = batch_means_stderr(population[:64])
+        large = batch_means_stderr(population[:1024])
+        # 16x the shards → ~4x smaller half-width (generous tolerance: the
+        # sample std itself fluctuates).
+        assert large < small / 2.5
+        assert large > small / 6.5
+
+    def test_bit_deterministic(self):
+        values = list(np.random.default_rng(5).uniform(size=32))
+        assert batch_means_stderr(values) == batch_means_stderr(list(values))
+
+
+class TestNormalInterval:
+    def test_contains_and_centers_on_mean(self):
+        low, high = normal_interval(0.5, 0.01)
+        assert low < 0.5 < high
+        assert (low + high) / 2 == pytest.approx(0.5)
+        assert high - low == pytest.approx(2 * DEFAULT_Z * 0.01)
+
+    def test_clips_to_unit_interval(self):
+        low, high = normal_interval(0.01, 0.05)
+        assert low == 0.0
+        low, high = normal_interval(0.99, 0.05)
+        assert high == 1.0
+
+    def test_degenerate_all_zero_stays_in_unit_interval(self):
+        scores = [0.0] * 8
+        stderr = batch_means_stderr(scores)
+        low, high = normal_interval(float(np.mean(scores)), stderr)
+        assert (low, high) == (0.0, 0.0)
+
+    def test_degenerate_all_one_stays_in_unit_interval(self):
+        scores = [1.0] * 8
+        stderr = batch_means_stderr(scores)
+        low, high = normal_interval(float(np.mean(scores)), stderr)
+        assert (low, high) == (1.0, 1.0)
+
+    def test_no_clip(self):
+        low, high = normal_interval(0.0, 1.0, z=1.0, clip=None)
+        assert low == pytest.approx(-1.0)
+        assert high == pytest.approx(1.0)
+
+    def test_rejects_negative_stderr(self):
+        with pytest.raises(ValueError):
+            normal_interval(0.5, -0.1)
+
+    @given(
+        st.floats(0.0, 1.0),
+        st.floats(0.0, 0.5),
+    )
+    def test_interval_always_contains_clipped_mean(self, mean, stderr):
+        low, high = normal_interval(mean, stderr)
+        assert 0.0 <= low <= high <= 1.0
+        assert low <= mean <= high
+
+    def test_interval_contains_full_bundle_point_estimate(self):
+        """The interval of per-shard scores covers the full-bundle mean.
+
+        The full-bundle estimate is exactly the mean of equal-size shard
+        scores (SimRank is linear in the meeting probabilities), so the
+        normal interval built from the shard scores must contain it.
+        """
+        rng = np.random.default_rng(21)
+        shard_scores = rng.uniform(0.05, 0.25, size=16)
+        full_estimate = float(shard_scores.mean())
+        low, high = normal_interval(
+            full_estimate, batch_means_stderr(shard_scores)
+        )
+        assert low <= full_estimate <= high
+
+
+class TestWilsonInterval:
+    def test_half_sample(self):
+        low, high = wilson_interval(50, 100)
+        assert low < 0.5 < high
+        assert 0.0 <= low <= high <= 1.0
+
+    def test_degenerate_all_zero(self):
+        low, high = wilson_interval(0, 100)
+        assert low == pytest.approx(0.0, abs=1e-12)
+        assert 0.0 < high < 0.1  # Wilson never collapses to a point at 0
+
+    def test_degenerate_all_one(self):
+        low, high = wilson_interval(100, 100)
+        assert high == pytest.approx(1.0, abs=1e-12)
+        assert 0.9 < low < 1.0
+
+    def test_narrows_with_more_trials(self):
+        narrow = wilson_interval(500, 1000)
+        wide = wilson_interval(5, 10)
+        assert narrow[1] - narrow[0] < wide[1] - wide[0]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            wilson_interval(1, 0)
+        with pytest.raises(ValueError):
+            wilson_interval(5, 4)
+        with pytest.raises(ValueError):
+            wilson_interval(-1, 4)
+
+    @given(st.integers(0, 200), st.integers(1, 200))
+    def test_bounds_always_in_unit_interval(self, successes, trials):
+        if successes > trials:
+            successes = trials
+        low, high = wilson_interval(successes, trials)
+        assert 0.0 <= low <= high <= 1.0
+        # The point estimate sits inside the interval (up to float noise at
+        # the degenerate endpoints, where the exact bound is 0 or 1).
+        assert low - 1e-9 <= successes / trials <= high + 1e-9
+
+    def test_bit_deterministic(self):
+        assert wilson_interval(37, 128) == wilson_interval(37, 128)
 
 
 class TestErrors:

@@ -25,6 +25,8 @@ drawn fresh from the numpy ``Generator`` at every step, as in the scalar code.
 
 from __future__ import annotations
 
+import warnings
+from functools import lru_cache
 from typing import Callable, Hashable, List, Sequence
 
 import numpy as np
@@ -74,8 +76,19 @@ KEYED_CHUNK_MAX_ROWS = 8192
 #: *arc* budget, not a row count.
 KEYED_CHUNK_TARGET_ARCS = 8192
 
-#: Backwards-compatible alias (the old fixed chunk size).
-KEYED_CHUNK_ROWS = KEYED_CHUNK_MIN_ROWS
+def __getattr__(name: str):
+    # Deprecated module attributes, resolved lazily so ordinary imports pay
+    # nothing and touching one warns exactly once per call site.
+    if name == "KEYED_CHUNK_ROWS":
+        warnings.warn(
+            "KEYED_CHUNK_ROWS (the old fixed chunk size) is deprecated; use "
+            "keyed_chunk_rows() for the workload-shaped heuristic or "
+            "KEYED_CHUNK_MIN_ROWS for its floor",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return KEYED_CHUNK_MIN_ROWS
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
 def keyed_chunk_rows(length: int, avg_out_degree: float) -> int:
@@ -115,13 +128,30 @@ def shard_world_keys(
     ``SeedSequence(seed, spawn_key=(vertex, twin, s))``, independent of who
     evaluates them, so bundles sampled anywhere under the same ``(seed,
     shard_size)`` scheme are bit-identical.
+
+    Derivation is memoized (the function is pure, so cached values are the
+    values): constructing a ``SeedSequence`` + ``Generator`` per shard is
+    pure-Python overhead otherwise paid on every batch.  The returned array
+    is shared and read-only — copy before mutating.
     """
-    sequence = np.random.SeedSequence(
-        entropy=seed, spawn_key=(int(vertex_index), int(bool(twin)), int(shard_index))
+    return _shard_world_keys_cached(
+        int(seed), int(vertex_index), int(bool(twin)), int(shard_index),
+        int(shard_length),
     )
-    return np.random.default_rng(sequence).integers(
+
+
+@lru_cache(maxsize=1024)
+def _shard_world_keys_cached(
+    seed: int, vertex_index: int, twin: int, shard_index: int, shard_length: int
+) -> np.ndarray:
+    sequence = np.random.SeedSequence(
+        entropy=seed, spawn_key=(vertex_index, twin, shard_index)
+    )
+    keys = np.random.default_rng(sequence).integers(
         0, 2**64, size=shard_length, dtype=np.uint64
     )
+    keys.flags.writeable = False
+    return keys
 
 
 def endpoint_world_keys(
@@ -281,6 +311,7 @@ def sample_walk_matrix_keyed(
     length: int,
     world_keys: np.ndarray,
     chunk_rows: "int | None" = None,
+    kernel: "str | None" = None,
 ) -> np.ndarray:
     """Sample one walk per ``(source, world key)`` pair, fully deterministically.
 
@@ -299,7 +330,16 @@ def sample_walk_matrix_keyed(
     ``chunk_rows`` overrides the row-chunk size (``None`` = the
     length-scaled heuristic of :func:`keyed_chunk_rows`); it never affects
     the sampled walks, only the evaluation granularity.
+
+    ``kernel`` selects the evaluation backend — one of
+    :data:`repro.core.kernels.KERNELS` or ``"auto"``/``None`` for the
+    process default (the ``REPRO_KERNEL`` environment variable).  Every
+    backend is bit-identical; see :mod:`repro.core.kernels`.
     """
+    # Imported lazily: kernels imports this module's splitmix helpers, so a
+    # top-level import here would be circular.
+    from repro.core import kernels as _kernels
+
     sources = np.ascontiguousarray(sources, dtype=np.int64)
     world_keys = np.ascontiguousarray(world_keys, dtype=np.uint64)
     if sources.ndim != 1 or world_keys.shape != sources.shape:
@@ -312,35 +352,8 @@ def sample_walk_matrix_keyed(
         0 <= int(sources.min()) and int(sources.max()) < csr.num_vertices
     ):
         raise InvalidParameterError("source indices out of range")
-
-    def sample_chunk(chunk_sources: np.ndarray, chunk_keys: np.ndarray) -> np.ndarray:
-        return _sample_walks_core(
-            csr,
-            chunk_sources,
-            length,
-            chunk_keys,
-            lambda active, step: _pick_uniforms(chunk_keys[active], step),
-        )
-
-    if chunk_rows is None:
-        degree = csr.num_arcs / max(1, csr.num_vertices)
-        rows = keyed_chunk_rows(length, degree)
-    else:
-        rows = int(chunk_rows)
-    if rows < 1:
-        raise InvalidParameterError(f"chunk_rows must be >= 1, got {chunk_rows}")
-    if sources.size <= rows:
-        return sample_chunk(sources, world_keys)
-    return np.concatenate(
-        [
-            sample_chunk(
-                sources[start : start + rows],
-                world_keys[start : start + rows],
-            )
-            for start in range(0, sources.size, rows)
-        ],
-        axis=0,
-    )
+    backend = _kernels.resolve_kernel(kernel)
+    return backend.sample(csr, sources, length, world_keys, chunk_rows)
 
 
 def walk_matrix_from_graph(

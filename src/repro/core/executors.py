@@ -85,6 +85,7 @@ from repro.core.batch_walks import (
     sample_walk_matrix_keyed,
     validate_backend,
 )
+from repro.core.kernels import validate_kernel
 from repro.core.sampling import sampling_simrank
 from repro.core.simrank import (
     SimRankResult,
@@ -360,6 +361,28 @@ class WalkSource:
     ) -> Dict[Tuple[int, bool], np.ndarray]:
         raise NotImplementedError
 
+    def _sample_mixed(
+        self, csr: CSRGraph, needs: Sequence[BundleNeed], length: int
+    ) -> Dict[BundleNeed, np.ndarray]:
+        """Sample needs whose walk counts may differ.
+
+        The base implementation groups by walk count and runs one
+        :meth:`_sample` sweep per group; sources backed by a batched sampler
+        override this to share a single sweep across the whole mixed batch.
+        """
+        by_walks: Dict[int, List[BundleNeed]] = {}
+        for need in needs:
+            by_walks.setdefault(need[2], []).append(need)
+        bundles: Dict[BundleNeed, np.ndarray] = {}
+        for walks, group in by_walks.items():
+            sampled = self._sample(
+                csr, [(vertex_index, twin) for vertex_index, twin, _ in group],
+                length, walks,
+            )
+            for vertex_index, twin, _ in group:
+                bundles[(vertex_index, twin, walks)] = sampled[(vertex_index, twin)]
+        return bundles
+
     def resolve(
         self, csr: CSRGraph, length: int, needs: Iterable[BundleNeed]
     ) -> Dict[BundleNeed, np.ndarray]:
@@ -377,20 +400,12 @@ class WalkSource:
                 missing.append(need)
             else:
                 bundles[need] = cached
-        by_walks: Dict[int, List[BundleNeed]] = {}
-        for need in missing:
-            by_walks.setdefault(need[2], []).append(need)
-        for walks, group in by_walks.items():
-            sampled = self._sample(
-                csr, [(vertex_index, twin) for vertex_index, twin, _ in group],
-                length, walks,
-            )
-            for vertex_index, twin, _ in group:
-                bundle = sampled[(vertex_index, twin)]
-                self._put(
-                    self.store_key(vertex_index, twin, length, walks), bundle
-                )
-                bundles[(vertex_index, twin, walks)] = bundle
+        if missing:
+            sampled = self._sample_mixed(csr, missing, length)
+            for need in missing:
+                bundle = sampled[need]
+                self._put(self.store_key(need[0], need[1], length, need[2]), bundle)
+                bundles[need] = bundle
         return bundles
 
 
@@ -403,7 +418,9 @@ class SerialWalkSource(WalkSource):
     worker pool.  ``store`` may be a
     :class:`~repro.service.bundle_store.WalkBundleStore` (the engine's
     ``bundle_store=``) or any ``get``/``put`` mapping; ``None`` samples every
-    need afresh.
+    need afresh.  ``kernel`` picks the sampling backend
+    (:data:`repro.core.kernels.KERNEL_ENV_VAR` resolution when ``None``) and
+    affects speed only, never results.
     """
 
     def __init__(
@@ -411,12 +428,14 @@ class SerialWalkSource(WalkSource):
         seed: int,
         shard_size: int = DEFAULT_SHARD_SIZE,
         store: "object | None" = None,
+        kernel: Optional[str] = None,
     ) -> None:
         if shard_size < 1:
             raise InvalidParameterError(f"shard_size must be >= 1, got {shard_size}")
         self.seed = int(seed)
         self.shard_size = int(shard_size)
         self._store = store
+        self.kernel = validate_kernel(kernel)
 
     def store_key(
         self, vertex_index: int, twin: bool, length: int, num_walks: int
@@ -450,11 +469,73 @@ class SerialWalkSource(WalkSource):
                 for vertex_index, twin in requests
             ]
         )
-        matrix = sample_walk_matrix_keyed(csr, sources, length, keys)
+        matrix = sample_walk_matrix_keyed(csr, sources, length, keys, kernel=self.kernel)
         return {
             request: matrix[position * num_walks : (position + 1) * num_walks]
             for position, request in enumerate(requests)
         }
+
+    def _sample_mixed(
+        self, csr: CSRGraph, needs: Sequence[BundleNeed], length: int
+    ) -> Dict[BundleNeed, np.ndarray]:
+        sources = np.repeat(
+            np.asarray([need[0] for need in needs], dtype=np.int64),
+            [need[2] for need in needs],
+        )
+        keys = np.concatenate(
+            [
+                endpoint_world_keys(self.seed, vertex_index, twin, walks, self.shard_size)
+                for vertex_index, twin, walks in needs
+            ]
+        )
+        matrix = sample_walk_matrix_keyed(csr, sources, length, keys, kernel=self.kernel)
+        bundles: Dict[BundleNeed, np.ndarray] = {}
+        offset = 0
+        for need in needs:
+            bundles[need] = matrix[offset : offset + need[2]]
+            offset += need[2]
+        return bundles
+
+
+class PrefetchedWalkSource(WalkSource):
+    """A :class:`WalkSource` overlay serving pre-resolved bundles first.
+
+    Wraps an inner source plus a ``{(vertex, twin, length, walks): bundle}``
+    overlay; needs absent from the overlay fall through to the inner source
+    untouched.  Used by the service to resolve a batch's walk needs in one
+    mixed sweep up front while group executors keep their per-need ``resolve``
+    calls unchanged.
+    """
+
+    def __init__(self, inner: WalkSource, bundles: Dict[tuple, np.ndarray]) -> None:
+        self.inner = inner
+        self._bundles = dict(bundles)
+
+    def store_key(
+        self, vertex_index: int, twin: bool, length: int, num_walks: int
+    ) -> tuple:
+        return self.inner.store_key(vertex_index, twin, length, num_walks)
+
+    def _get(self, key: tuple) -> Optional[np.ndarray]:
+        hit = self._bundles.get(key)
+        return hit if hit is not None else self.inner._get(key)
+
+    def _put(self, key: tuple, bundle: np.ndarray) -> np.ndarray:
+        return self.inner._put(key, bundle)
+
+    def _sample(
+        self,
+        csr: CSRGraph,
+        requests: Sequence[Tuple[int, bool]],
+        length: int,
+        num_walks: int,
+    ) -> Dict[Tuple[int, bool], np.ndarray]:
+        return self.inner._sample(csr, requests, length, num_walks)
+
+    def _sample_mixed(
+        self, csr: CSRGraph, needs: Sequence[BundleNeed], length: int
+    ) -> Dict[BundleNeed, np.ndarray]:
+        return self.inner._sample_mixed(csr, needs, length)
 
 
 @dataclass(frozen=True)

@@ -6,7 +6,7 @@ Usage::
 
 where ``<experiment>`` is one of ``datasets``, ``measures``, ``convergence``,
 ``efficiency``, ``accuracy``, ``param-n``, ``scalability``, ``service``,
-``tenancy``, ``epoch``, ``methods``, ``topk_index``, ``obs``, ``qos``,
+``tenancy``, ``epoch``, ``methods``, ``kernels``, ``topk_index``, ``obs``, ``qos``,
 ``case-ppi``, ``case-er`` or ``all``.  ``--quick`` shrinks the workload (fewer pairs,
 smaller sample sizes) so a full pass finishes in a couple of minutes.
 """
@@ -32,6 +32,7 @@ from repro.experiments.convergence import (
 from repro.experiments.efficiency import format_efficiency_results, run_efficiency_experiment
 from repro.experiments.epoch import format_epoch_results, run_epoch_experiment
 from repro.experiments.measures import format_measures_results, run_measures_experiment
+from repro.experiments.kernels import format_kernels_results, run_kernels_experiment
 from repro.experiments.methods import format_methods_results, run_methods_experiment
 from repro.experiments.obs import format_obs_results, run_obs_experiment
 from repro.experiments.param_n import format_param_n_results, run_param_n_experiment
@@ -168,6 +169,16 @@ def _run_qos(quick: bool) -> str:
     return format_qos_results(result)
 
 
+def _run_kernels(quick: bool) -> str:
+    result = run_kernels_experiment(
+        num_vertices=600,
+        num_edges=1500 if quick else 6000,
+        rows=20_000 if quick else 60_000,
+        repeats=3 if quick else 5,
+    )
+    return format_kernels_results(result)
+
+
 def _run_topk_index(quick: bool) -> str:
     results = run_topk_index_experiment(
         edge_counts=(1500,) if quick else (1500, 4500, 7500),
@@ -208,6 +219,7 @@ EXPERIMENTS: Dict[str, Callable[[bool], str]] = {
     "tenancy": _run_tenancy,
     "epoch": _run_epoch,
     "methods": _run_methods,
+    "kernels": _run_kernels,
     "topk_index": _run_topk_index,
     "obs": _run_obs,
     "qos": _run_qos,

@@ -50,7 +50,7 @@ from typing import Dict, Hashable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.executors import EngineSnapshot, WalkSource
+from repro.core.executors import BundleNeed, EngineSnapshot, WalkSource
 from repro.graph.csr import CSRGraph
 from repro.service.bundle_store import WalkBundleStore
 from repro.service.sharding import ShardedWalkSampler
@@ -142,6 +142,11 @@ class PooledWalkSource(WalkSource):
         num_walks: int,
     ) -> Dict[Tuple[int, bool], np.ndarray]:
         return self.sampler.sample_bundles(csr, requests, length, num_walks)
+
+    def _sample_mixed(
+        self, csr: CSRGraph, needs: "Sequence[BundleNeed]", length: int
+    ) -> "Dict[BundleNeed, np.ndarray]":
+        return self.sampler.sample_bundles_mixed(csr, needs, length)
 
 
 class Epoch:

@@ -94,6 +94,7 @@ import json
 import sys
 from typing import IO, List, Optional
 
+from repro.core.kernels import KERNELS
 from repro.datasets.registry import load_dataset
 from repro.graph.io import read_edge_list
 from repro.graph.uncertain_graph import UncertainGraph, example_graph
@@ -329,6 +330,13 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
     parser.add_argument("--workers", type=int, default=1)
     parser.add_argument("--executor", choices=EXECUTORS, default="serial")
     parser.add_argument(
+        "--kernel",
+        choices=("auto", *KERNELS),
+        default=None,
+        help="walk-sampling kernel backend (default: REPRO_KERNEL env / "
+        "auto-detect; answers are bit-identical for every backend)",
+    )
+    parser.add_argument(
         "--read-workers",
         type=int,
         default=1,
@@ -474,6 +482,7 @@ def run(argv: Optional[List[str]] = None, stdin: Optional[IO[str]] = None,
         shard_size=args.shard_size,
         num_workers=args.workers,
         executor=args.executor,
+        kernel=args.kernel,
         store_budget_bytes=budget,
         read_workers=args.read_workers,
         ingest_mode=args.ingest_mode,

@@ -64,15 +64,17 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from concurrent.futures import wait as futures_wait
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 
 import numpy as np
 from typing import Dict, Hashable, List, Optional, Sequence, Tuple, Union
 
 from repro.core.engine import SimRankEngine
 from repro.core.executors import (
+    BundleNeed,
     EngineSnapshot,
     MethodExecutor,
+    PrefetchedWalkSource,
     executor_for,
 )
 from repro.core.simrank import (
@@ -462,6 +464,7 @@ class SimilarityService:
         shard_size: int = DEFAULT_SHARD_SIZE,
         num_workers: int = 1,
         executor: str = "serial",
+        kernel: Optional[str] = None,
         store_budget_bytes: Optional[int] = DEFAULT_BUDGET_BYTES,
         max_batch_size: int = 64,
         batch_wait_seconds: float = 0.002,
@@ -526,6 +529,7 @@ class SimilarityService:
                     shard_size=shard_size,
                     num_workers=num_workers,
                     executor=executor,
+                    kernel=kernel,
                     store_budget_bytes=store_budget_bytes,
                     max_num_walks=max_num_walks,
                     max_qps=max_qps,
@@ -1123,6 +1127,12 @@ class SimilarityService:
             except Exception as error:
                 self._finish_query(item, error=error)
 
+        # Mixed-fidelity batches: resolve every sampled pair plan's walk
+        # needs in ONE keyed sweep up front (WalkSource._sample_mixed), so
+        # groups that differ only in walk count stop paying one sampler
+        # dispatch each.  Answers are bit-identical either way.
+        snapshot = self._prefetch_walks(snapshot, planned)
+
         # One snapshot-scoped executor per (method, walk count) group: the
         # pairs of every query in a group are scored by a single run_batch,
         # so bundle / exact-prefix work is shared across queries of the
@@ -1302,6 +1312,59 @@ class SimilarityService:
             result.degraded = True
             result.walks_used = plan.walks_used
         return result
+
+    @staticmethod
+    def _prefetch_walks(
+        snapshot: EngineSnapshot,
+        planned: List[Tuple["_QueryItem", "_QueryPlan"]],
+    ) -> EngineSnapshot:
+        """Resolve a mixed-fidelity batch's walk needs in one keyed sweep.
+
+        Group executors resolve walk bundles per ``(method, walks)`` group,
+        so a batch mixing walk counts pays one sampler dispatch per count.
+        When at least two counts appear among the sampled pair plans, the
+        needs of all of them are gathered here and resolved through
+        :meth:`~repro.core.executors.WalkSource._sample_mixed` — one sweep
+        over the tenant's sharded sampler — and served back to the groups
+        through a :class:`~repro.core.executors.PrefetchedWalkSource`
+        overlay.  Bundles are pure functions of their world keys, so answers
+        are bit-identical with or without the prefetch.
+        """
+        source = snapshot.walks
+        if source is None or snapshot.backend != "vectorized":
+            return snapshot
+        sampled_tail = snapshot.exact_prefix < snapshot.iterations
+        csr = snapshot.csr
+        needs: List[BundleNeed] = []
+        walk_counts = set()
+        for _item, plan in planned:
+            if plan.kind != "pair" or plan.method not in ("sampling", "two_phase"):
+                continue
+            if plan.method == "two_phase" and not sampled_tail:
+                continue
+            walks = plan.walks if plan.walks is not None else snapshot.num_walks
+            batch_needs: List[BundleNeed] = []
+            try:
+                for u, v in plan.pairs:
+                    u_index, v_index = csr.index_of(u), csr.index_of(v)
+                    batch_needs.append((u_index, False, walks))
+                    batch_needs.append((v_index, u_index == v_index, walks))
+            except Exception:
+                # Unknown endpoint: leave the error to the group executor's
+                # per-query handling rather than failing the whole batch.
+                continue
+            needs.extend(batch_needs)
+            walk_counts.add(walks)
+        if len(walk_counts) < 2:
+            # Zero or one count: each group's own resolve is already a
+            # single sweep, so the overlay would buy nothing.
+            return snapshot
+        bundles = source.resolve(csr, snapshot.iterations, needs)
+        overlay = {
+            source.store_key(vertex, twin, snapshot.iterations, walks): bundle
+            for (vertex, twin, walks), bundle in bundles.items()
+        }
+        return replace(snapshot, walks=PrefetchedWalkSource(source, overlay))
 
     @staticmethod
     def _index_covers(plan: "_QueryPlan", snapshot: EngineSnapshot) -> bool:

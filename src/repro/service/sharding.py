@@ -44,6 +44,7 @@ from repro.core.batch_walks import (
     sample_walk_matrix_keyed,
     shard_world_keys,
 )
+from repro.core.kernels import validate_kernel
 from repro.graph.csr import CSRGraph
 from repro.utils.errors import InvalidParameterError
 
@@ -60,6 +61,9 @@ __all__ = [
 #: A bundle request: (dense vertex index, twin flag).
 BundleRequest = Tuple[int, bool]
 
+#: A mixed-count bundle need: (dense vertex index, twin flag, num_walks).
+BundleNeed = Tuple[int, bool, int]
+
 # -- process-pool plumbing ----------------------------------------------------
 #
 # Each worker process receives the CSR arrays once (via the pool initializer)
@@ -75,10 +79,15 @@ def _init_worker(indptr: np.ndarray, indices: np.ndarray, probs: np.ndarray) -> 
 
 
 def _process_task(
-    sources: np.ndarray, world_keys: np.ndarray, length: int
+    sources: np.ndarray,
+    world_keys: np.ndarray,
+    length: int,
+    kernel: Optional[str] = None,
 ) -> np.ndarray:
     assert _WORKER_CSR is not None, "worker pool initializer did not run"
-    return sample_walk_matrix_keyed(_WORKER_CSR, sources, length, world_keys)
+    return sample_walk_matrix_keyed(
+        _WORKER_CSR, sources, length, world_keys, kernel=kernel
+    )
 
 
 class ShardedWalkSampler:
@@ -96,6 +105,11 @@ class ShardedWalkSampler:
         Worker count for the ``"thread"`` / ``"process"`` executors.
     executor:
         One of :data:`EXECUTORS`.  Affects execution only, never results.
+    kernel:
+        Kernel backend name for the keyed sweeps (see
+        :mod:`repro.core.kernels`).  ``None``/"auto" defers to the
+        ``REPRO_KERNEL`` environment default.  Affects speed only, never
+        results — every backend is bit-identical.
     """
 
     def __init__(
@@ -104,6 +118,7 @@ class ShardedWalkSampler:
         shard_size: int = DEFAULT_SHARD_SIZE,
         num_workers: int = 1,
         executor: str = "serial",
+        kernel: Optional[str] = None,
     ) -> None:
         if executor not in EXECUTORS:
             raise InvalidParameterError(
@@ -119,6 +134,7 @@ class ShardedWalkSampler:
         self.shard_size = int(shard_size)
         self.num_workers = int(num_workers)
         self.executor = executor
+        self.kernel = validate_kernel(kernel)
         #: Fault-injection seam (tests only): when set, called at the top of
         #: every :meth:`sample_bundles`; an exception it raises propagates to
         #: the caller exactly like a real sampling failure (worker crash,
@@ -239,44 +255,77 @@ class ShardedWalkSampler:
         shard_size)`` shards each; the full shard list of the batch is spread
         over the pool.  Returns ``{(vertex_index, twin): matrix}``.
         """
-        if self._fail_hook is not None:
-            self._fail_hook()
         if num_walks < 1:
             raise InvalidParameterError(f"num_walks must be >= 1, got {num_walks}")
-        unique: List[BundleRequest] = []
+        needs = [
+            (int(vertex_index), bool(twin), int(num_walks))
+            for vertex_index, twin in requests
+        ]
+        mixed = self.sample_bundles_mixed(csr, needs, length)
+        return {
+            (vertex_index, twin): matrix
+            for (vertex_index, twin, _), matrix in mixed.items()
+        }
+
+    def sample_bundles_mixed(
+        self,
+        csr: CSRGraph,
+        needs: Sequence[BundleNeed],
+        length: int,
+    ) -> Dict[BundleNeed, np.ndarray]:
+        """Walk bundles for endpoints with *per-endpoint* walk counts.
+
+        ``needs`` are ``(vertex_index, twin, num_walks)`` triples (duplicates
+        collapse); bundles of different walk counts share one flat shard
+        list — and therefore one keyed sweep per worker task — instead of a
+        sweep per distinct count.  Each bundle's rows are a pure function of
+        its world keys, so mixing counts in a batch never changes results.
+        Returns ``{(vertex_index, twin, num_walks): matrix}``.
+        """
+        if self._fail_hook is not None:
+            self._fail_hook()
+        unique: List[BundleNeed] = []
         seen = set()
-        for vertex_index, twin in requests:
-            request = (int(vertex_index), bool(twin))
-            if request not in seen:
-                seen.add(request)
-                unique.append(request)
+        for vertex_index, twin, num_walks in needs:
+            if num_walks < 1:
+                raise InvalidParameterError(
+                    f"num_walks must be >= 1, got {num_walks}"
+                )
+            need = (int(vertex_index), bool(twin), int(num_walks))
+            if need not in seen:
+                seen.add(need)
+                unique.append(need)
         if not unique:
             return {}
 
-        # One flat work list: each unit is one shard of one request.
-        shards = self.num_shards(num_walks)
-        units: List[Tuple[BundleRequest, int, int]] = []  # (request, shard, size)
-        for request in unique:
-            for shard in range(shards):
+        # One flat work list: each unit is one shard of one need.
+        units: List[Tuple[BundleNeed, int, int]] = []  # (need, shard, size)
+        for need in unique:
+            num_walks = need[2]
+            for shard in range(self.num_shards(num_walks)):
                 start = shard * self.shard_size
                 size = min(self.shard_size, num_walks - start)
-                units.append((request, shard, size))
+                units.append((need, shard, size))
 
-        def pack(block: Sequence[Tuple[BundleRequest, int, int]]):
+        def pack(block: Sequence[Tuple[BundleNeed, int, int]]):
             sources = np.concatenate(
-                [np.full(size, request[0], dtype=np.int64) for request, _, size in block]
+                [np.full(size, need[0], dtype=np.int64) for need, _, size in block]
             )
             keys = np.concatenate(
                 [
-                    shard_world_keys(self.seed, request[0], request[1], shard, size)
-                    for request, shard, size in block
+                    shard_world_keys(self.seed, need[0], need[1], shard, size)
+                    for need, shard, size in block
                 ]
             )
             return sources, keys
 
         if self.executor == "serial" or self.num_workers == 1 or len(units) == 1:
             sources, keys = pack(units)
-            matrices = [sample_walk_matrix_keyed(csr, sources, length, keys)]
+            matrices = [
+                sample_walk_matrix_keyed(
+                    csr, sources, length, keys, kernel=self.kernel
+                )
+            ]
             blocks = [units]
         else:
             # Spread the units over ~2 tasks per worker for load balance; the
@@ -291,7 +340,14 @@ class ShardedWalkSampler:
                 for block in blocks:
                     sources, keys = pack(block)
                     futures.append(
-                        pool.submit(sample_walk_matrix_keyed, csr, sources, length, keys)
+                        pool.submit(
+                            sample_walk_matrix_keyed,
+                            csr,
+                            sources,
+                            length,
+                            keys,
+                            kernel=self.kernel,
+                        )
                     )
                 matrices = [future.result() for future in futures]
             else:
@@ -302,17 +358,21 @@ class ShardedWalkSampler:
                     futures = []
                     for block in blocks:
                         sources, keys = pack(block)
-                        futures.append(pool.submit(_process_task, sources, keys, length))
+                        futures.append(
+                            pool.submit(
+                                _process_task, sources, keys, length, self.kernel
+                            )
+                        )
                     matrices = [future.result() for future in futures]
 
         # Reassemble: walk rows come back in unit order within each block.
-        pieces: Dict[BundleRequest, List[np.ndarray]] = {request: [] for request in unique}
+        pieces: Dict[BundleNeed, List[np.ndarray]] = {need: [] for need in unique}
         for block, matrix in zip(blocks, matrices):
             offset = 0
-            for request, _, size in block:
-                pieces[request].append(matrix[offset : offset + size])
+            for need, _, size in block:
+                pieces[need].append(matrix[offset : offset + size])
                 offset += size
         return {
-            request: np.concatenate(piece_list, axis=0)
-            for request, piece_list in pieces.items()
+            need: np.concatenate(piece_list, axis=0)
+            for need, piece_list in pieces.items()
         }

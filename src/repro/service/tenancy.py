@@ -263,6 +263,10 @@ class TenantConfig:
     shard_size: int = DEFAULT_SHARD_SIZE
     num_workers: int = 1
     executor: str = "serial"
+    #: Walk-sampling kernel backend (``None`` = ``REPRO_KERNEL`` env /
+    #: auto-detect; see :mod:`repro.core.kernels`).  Affects throughput only —
+    #: every backend is bit-identical, so answers never depend on it.
+    kernel: Optional[str] = None
     store_budget_bytes: Optional[int] = DEFAULT_BUDGET_BYTES
     #: Admission cap on per-query ``num_walks`` overrides (``None`` = no cap;
     #: the tenant's configured ``num_walks`` default is always admitted).
@@ -383,6 +387,7 @@ class GraphTenant:
             shard_size=config.shard_size,
             num_workers=config.num_workers,
             executor=config.executor,
+            kernel=config.kernel,
         )
         self.engine = SimRankEngine(
             graph,
@@ -396,6 +401,7 @@ class GraphTenant:
             shard_size=config.shard_size,
             bundle_store=self.store,
             topk_index_budget_bytes=config.topk_index_budget_bytes,
+            kernel=config.kernel,
         )
         self.epochs = EpochManager()
         #: Serializes writers (mutation ingest, epoch refresh).  Queries

@@ -30,6 +30,7 @@ class TestCLI:
             "tenancy",
             "epoch",
             "methods",
+            "kernels",
             "topk_index",
             "obs",
             "qos",

@@ -1,0 +1,414 @@
+"""The kernel backend layer: resolution, bit-identity, and batched mixing.
+
+Every backend of :mod:`repro.core.kernels` must sample walk matrices
+bit-identical to the original ``_sample_walks_core`` step loop — the
+property the whole deterministic serving stack (sharding, epochs, bundle
+stores) rests on.  The suites here sweep chunk sizes, kernel names, and
+graph shapes chosen to drive the fused numpy kernel through both its dense
+fast path and its ragged path, and cross-validate the keyed scheme against
+the scalar ``backend="python"`` reference statistically.  The numba suite
+auto-skips when numba is not installed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.core.batch_walks as batch_walks
+from repro.core.batch_walks import (
+    KEYED_CHUNK_MIN_ROWS,
+    _pick_uniforms,
+    _sample_walks_core,
+    endpoint_world_keys,
+    sample_walk_matrix_keyed,
+    shard_world_keys,
+)
+from repro.core.engine import SimRankEngine
+from repro.core.executors import PrefetchedWalkSource, SerialWalkSource
+from repro.core.kernels import (
+    DENSE_MAX_COLS,
+    KERNEL_ENV_VAR,
+    KERNELS,
+    NUMPY_CHUNK_MAX_ROWS,
+    NUMPY_CHUNK_MIN_ROWS,
+    NumpyKernel,
+    ReferenceKernel,
+    available_kernels,
+    default_kernel_name,
+    numba_available,
+    resolve_chunk_rows,
+    resolve_kernel,
+    validate_kernel,
+)
+from repro.graph.csr import CSRGraph
+from repro.graph.generators import rmat_uncertain
+from repro.graph.uncertain_graph import UncertainGraph, example_graph
+from repro.service.sharding import ShardedWalkSampler
+from repro.service.tenancy import GraphTenant, TenantConfig
+from repro.utils.errors import InvalidParameterError
+
+from tests.conftest import small_random_uncertain_graph
+
+#: Monte-Carlo tolerance for two independent estimates at the sizes below.
+MC_TOLERANCE = 0.05
+
+
+def reference_walks(
+    csr: CSRGraph, sources: np.ndarray, length: int, keys: np.ndarray
+) -> np.ndarray:
+    """The unchunked original step loop — the ground truth of bit-identity."""
+    return _sample_walks_core(
+        csr, sources, length, keys,
+        lambda active, step: _pick_uniforms(keys[active], step),
+    )
+
+
+def keyed_request(csr: CSRGraph, count: int, seed: int):
+    """Deterministic (sources, world_keys) spanning every vertex."""
+    generator = np.random.default_rng(seed)
+    sources = generator.integers(0, csr.num_vertices, size=count, dtype=np.int64)
+    keys = generator.integers(0, 2**64, size=count, dtype=np.uint64)
+    return sources, keys
+
+
+def graph_zoo():
+    """Graph shapes that drive the numpy kernel through all of its paths."""
+    sparse = CSRGraph.from_uncertain(
+        rmat_uncertain(120, 300, rng=np.random.default_rng(5))
+    )
+    dense = CSRGraph.from_uncertain(
+        small_random_uncertain_graph(25, 0.55, seed=9)
+    )
+    # Regular out-degree 3 ring: max degree under DENSE_MAX_COLS with zero
+    # padding waste, so every step takes the dense fast path.
+    ring = UncertainGraph()
+    for u in range(40):
+        for offset in (1, 2, 3):
+            ring.add_arc(u, (u + offset) % 40, 0.3 + 0.5 * ((u + offset) % 7) / 7)
+    # Hub-and-spoke: one row of degree 60 amid degree-1 rows — the padded
+    # layout would waste > DENSE_MAX_WASTE, forcing the ragged path.
+    star = UncertainGraph()
+    for leaf in range(1, 61):
+        star.add_arc("hub", leaf, 0.8)
+        star.add_arc(leaf, "hub", 0.4)
+    # Extreme probabilities: p=1.0 arcs overflow the pre-shifted integer
+    # threshold (2**53 << 11 wraps), exercising the unshifted fallback
+    # alongside near-zero arcs.
+    extreme = UncertainGraph()
+    for u in range(12):
+        extreme.add_arc(u, (u + 1) % 12, 1.0)
+        extreme.add_arc(u, (u + 2) % 12, 1e-12)
+        extreme.add_arc(u, (u + 3) % 12, 0.5)
+    return {
+        "paper": CSRGraph.from_uncertain(example_graph()),
+        "sparse": sparse,
+        "dense": dense,
+        "ring": CSRGraph.from_uncertain(ring),
+        "star": CSRGraph.from_uncertain(star),
+        "extreme": CSRGraph.from_uncertain(extreme),
+    }
+
+
+GRAPHS = graph_zoo()
+
+
+class TestKernelResolution:
+    def test_validate_accepts_none_and_auto(self):
+        assert validate_kernel(None) is None
+        assert validate_kernel("auto") == "auto"
+
+    def test_validate_accepts_available_kernels(self):
+        for name in available_kernels():
+            assert validate_kernel(name) == name
+
+    def test_unknown_kernel_rejected(self):
+        with pytest.raises(InvalidParameterError, match="unknown kernel"):
+            validate_kernel("fortran")
+
+    def test_explicit_numba_without_numba_fails_early(self):
+        if numba_available():
+            pytest.skip("numba installed: explicit 'numba' is valid here")
+        with pytest.raises(InvalidParameterError, match="numba is not installed"):
+            validate_kernel("numba")
+
+    def test_available_kernels_reference_first(self):
+        names = available_kernels()
+        assert names[0] == "reference"
+        assert "numpy" in names
+        assert set(names) <= set(KERNELS)
+
+    def test_env_var_overrides_default(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "reference")
+        assert default_kernel_name() == "reference"
+        assert resolve_kernel(None).name == "reference"
+        monkeypatch.setenv(KERNEL_ENV_VAR, "numpy")
+        assert default_kernel_name() == "numpy"
+
+    def test_auto_prefers_numba_else_numpy(self, monkeypatch):
+        monkeypatch.delenv(KERNEL_ENV_VAR, raising=False)
+        expected = "numba" if numba_available() else "numpy"
+        assert default_kernel_name() == expected
+
+    def test_invalid_env_var_fails_loudly(self, monkeypatch):
+        monkeypatch.setenv(KERNEL_ENV_VAR, "cuda")
+        with pytest.raises(InvalidParameterError, match="unknown kernel"):
+            default_kernel_name()
+
+    def test_resolve_returns_singletons(self):
+        assert resolve_kernel("numpy") is resolve_kernel("numpy")
+        assert isinstance(resolve_kernel("numpy"), NumpyKernel)
+        assert isinstance(resolve_kernel("reference"), ReferenceKernel)
+
+    def test_resolve_chunk_rows_bounds_and_override(self):
+        csr = GRAPHS["sparse"]
+        assert resolve_chunk_rows(csr, 5, 17) == 17
+        rows = resolve_chunk_rows(csr, 5, None)
+        assert rows >= KEYED_CHUNK_MIN_ROWS
+        with pytest.raises(InvalidParameterError, match="chunk_rows"):
+            resolve_chunk_rows(csr, 5, 0)
+
+    def test_consumers_validate_kernel(self):
+        with pytest.raises(InvalidParameterError, match="unknown kernel"):
+            SerialWalkSource(seed=1, kernel="fortran")
+        with pytest.raises(InvalidParameterError, match="unknown kernel"):
+            ShardedWalkSampler(seed=1, kernel="fortran")
+        with pytest.raises(InvalidParameterError, match="unknown kernel"):
+            SimRankEngine(example_graph(), seed=1, kernel="fortran")
+        with pytest.raises(InvalidParameterError, match="unknown kernel"):
+            GraphTenant("t", example_graph(), TenantConfig(seed=1, kernel="fortran"))
+
+
+class TestBitIdentity:
+    """Every backend, chunk size, and graph shape samples identical walks."""
+
+    @pytest.mark.parametrize("name", sorted(GRAPHS))
+    @pytest.mark.parametrize("kernel", available_kernels())
+    def test_kernels_match_unchunked_core(self, name, kernel):
+        csr = GRAPHS[name]
+        sources, keys = keyed_request(csr, 700, seed=hash(name) % 2**31)
+        for length in (0, 1, 5, 11):
+            expected = reference_walks(csr, sources, length, keys)
+            got = sample_walk_matrix_keyed(csr, sources, length, keys, kernel=kernel)
+            assert np.array_equal(got, expected), (name, kernel, length)
+
+    @pytest.mark.parametrize("chunk_rows", [1, 3, 64, 997, NUMPY_CHUNK_MAX_ROWS])
+    def test_chunking_never_changes_walks(self, chunk_rows):
+        csr = GRAPHS["sparse"]
+        sources, keys = keyed_request(csr, 500, seed=42)
+        expected = reference_walks(csr, sources, 7, keys)
+        for kernel in available_kernels():
+            got = sample_walk_matrix_keyed(
+                csr, sources, 7, keys, chunk_rows=chunk_rows, kernel=kernel
+            )
+            assert np.array_equal(got, expected), (kernel, chunk_rows)
+
+    def test_dense_and_ragged_paths_agree_across_boundary(self):
+        # Degrees straddling DENSE_MAX_COLS: the same walks must come out
+        # whether a step runs padded-dense or ragged.
+        for extra in (DENSE_MAX_COLS - 1, DENSE_MAX_COLS, DENSE_MAX_COLS + 1):
+            graph = UncertainGraph()
+            for u in range(30):
+                for offset in range(1, extra + 1):
+                    graph.add_arc(u, (u + offset) % 30, 0.6)
+            csr = CSRGraph.from_uncertain(graph)
+            sources, keys = keyed_request(csr, 400, seed=extra)
+            expected = reference_walks(csr, sources, 6, keys)
+            got = sample_walk_matrix_keyed(csr, sources, 6, keys, kernel="numpy")
+            assert np.array_equal(got, expected), extra
+
+    def test_zero_probability_arcs_never_taken(self):
+        # UncertainGraph forbids p=0, but the kernels accept any CSR: build
+        # one directly so the p=0 threshold edge (ceil(0 * 2^53) = 0) is hit.
+        csr = CSRGraph(
+            indptr=np.arange(11, dtype=np.int64),
+            indices=np.arange(1, 11, dtype=np.int64) % 10,
+            probs=np.zeros(10),
+            vertices=tuple(range(10)),
+        )
+        sources, keys = keyed_request(csr, 200, seed=0)
+        for kernel in available_kernels():
+            walks = sample_walk_matrix_keyed(csr, sources, 4, keys, kernel=kernel)
+            assert np.array_equal(walks[:, 0], sources)
+            assert (walks[:, 1:] == batch_walks.NO_VERTEX).all()
+
+    def test_certain_arcs_always_exist(self, certain_graph):
+        csr = CSRGraph.from_uncertain(certain_graph)
+        sources, keys = keyed_request(csr, 300, seed=1)
+        walks = sample_walk_matrix_keyed(csr, sources, 8, keys, kernel="numpy")
+        assert np.array_equal(
+            walks, reference_walks(csr, sources, 8, keys)
+        )
+        # Every vertex of the certain graph has out-arcs: no truncation ever.
+        assert (walks != batch_walks.NO_VERTEX).all()
+
+    def test_empty_request(self):
+        csr = GRAPHS["paper"]
+        empty_sources = np.empty(0, dtype=np.int64)
+        empty_keys = np.empty(0, dtype=np.uint64)
+        for kernel in available_kernels():
+            walks = sample_walk_matrix_keyed(
+                csr, empty_sources, 5, empty_keys, kernel=kernel
+            )
+            assert walks.shape == (0, 6)
+
+    def test_scalar_python_backend_statistical_agreement(self, paper_graph):
+        """The keyed kernels agree with the scalar reference estimator."""
+        keyed = SimRankEngine(paper_graph, seed=3, num_walks=4000, kernel="numpy")
+        scalar = SimRankEngine(paper_graph, seed=3, backend="python")
+        for u, v in [("v1", "v2"), ("v2", "v3")]:
+            a = keyed.similarity(u, v, method="sampling").score
+            b = scalar.similarity(u, v, method="sampling", num_walks=4000).score
+            assert a == pytest.approx(b, abs=MC_TOLERANCE)
+
+
+class TestKernelPlumbing:
+    def test_engine_scores_identical_across_kernels(self, paper_graph):
+        expected = None
+        for kernel in available_kernels():
+            engine = SimRankEngine(paper_graph, seed=11, num_walks=200, kernel=kernel)
+            scores = [
+                engine.similarity("v1", "v2", method="sampling").score,
+                engine.similarity("v2", "v3", method="two_phase").score,
+            ]
+            if expected is None:
+                expected = scores
+            assert scores == expected, kernel
+
+    def test_sharded_sampler_identical_across_kernels_and_executors(self):
+        csr = GRAPHS["sparse"]
+        requests = [(0, False), (3, False), (3, True), (7, False)]
+        expected = None
+        for kernel in available_kernels():
+            for executor, workers in [("serial", 1), ("thread", 3)]:
+                sampler = ShardedWalkSampler(
+                    seed=5, shard_size=16, num_workers=workers,
+                    executor=executor, kernel=kernel,
+                )
+                try:
+                    bundles = sampler.sample_bundles(csr, requests, 6, 40)
+                finally:
+                    sampler.close()
+                if expected is None:
+                    expected = bundles
+                for request in requests:
+                    assert np.array_equal(bundles[request], expected[request]), (
+                        kernel, executor,
+                    )
+
+
+class TestMixedWalkBatching:
+    def test_sample_bundles_mixed_matches_per_count(self):
+        csr = GRAPHS["sparse"]
+        needs = [(0, False, 40), (3, False, 8), (3, True, 40), (7, False, 24)]
+        sampler = ShardedWalkSampler(seed=5, shard_size=16)
+        try:
+            mixed = sampler.sample_bundles_mixed(csr, needs, 6)
+            for vertex, twin, walks in needs:
+                per = sampler.sample_bundles(csr, [(vertex, twin)], 6, walks)
+                assert np.array_equal(mixed[(vertex, twin, walks)], per[(vertex, twin)])
+        finally:
+            sampler.close()
+
+    def test_sample_bundles_mixed_parallel_executors_agree(self):
+        csr = GRAPHS["sparse"]
+        needs = [(0, False, 40), (3, False, 8), (3, True, 40), (7, False, 24)]
+        serial = ShardedWalkSampler(seed=5, shard_size=16)
+        threaded = ShardedWalkSampler(
+            seed=5, shard_size=16, num_workers=3, executor="thread"
+        )
+        try:
+            expected = serial.sample_bundles_mixed(csr, needs, 6)
+            got = threaded.sample_bundles_mixed(csr, needs, 6)
+            for need in needs:
+                assert np.array_equal(got[need], expected[need])
+        finally:
+            serial.close()
+            threaded.close()
+
+    def test_serial_walk_source_resolves_mixed_in_one_sweep(self, monkeypatch):
+        csr = GRAPHS["sparse"]
+        source = SerialWalkSource(seed=9)
+        needs = [(0, False, 32), (2, False, 8), (2, True, 32), (5, False, 8)]
+        expected = {
+            need: source._sample(csr, [need[:2]], 6, need[2])[need[:2]]
+            for need in needs
+        }
+        sweeps = []
+        original = batch_walks.sample_walk_matrix_keyed
+
+        def counting(*args, **kwargs):
+            sweeps.append(args[1].size)
+            return original(*args, **kwargs)
+
+        import repro.core.executors as executors_module
+
+        monkeypatch.setattr(executors_module, "sample_walk_matrix_keyed", counting)
+        resolved = source.resolve(csr, 6, needs)
+        assert sweeps == [sum(need[2] for need in needs)]
+        for need in needs:
+            assert np.array_equal(resolved[need], expected[need])
+
+    def test_prefetched_source_serves_overlay_without_resampling(self):
+        csr = GRAPHS["sparse"]
+        inner = SerialWalkSource(seed=9)
+        needs = [(0, False, 16), (2, False, 16)]
+        resolved = inner.resolve(csr, 4, needs)
+        overlay = {
+            inner.store_key(v, twin, 4, walks): resolved[(v, twin, walks)]
+            for v, twin, walks in needs
+        }
+        prefetched = PrefetchedWalkSource(inner, overlay)
+        served = prefetched.resolve(csr, 4, needs + [(5, False, 16)])
+        for need in needs:
+            assert served[need] is resolved[need]
+        assert np.array_equal(
+            served[(5, False, 16)],
+            inner.resolve(csr, 4, [(5, False, 16)])[(5, False, 16)],
+        )
+
+
+class TestMemoizationAndDeprecation:
+    def test_shard_world_keys_memoized_and_read_only(self):
+        first = shard_world_keys(7, 3, False, 2, 16)
+        second = shard_world_keys(7, 3, False, 2, 16)
+        assert first is second
+        assert not first.flags.writeable
+        with pytest.raises(ValueError):
+            first[0] = 0
+
+    def test_endpoint_world_keys_unaffected_by_memoization(self):
+        keys = endpoint_world_keys(7, 3, False, 40, 16)
+        assert keys.shape == (40,)
+        assert np.array_equal(keys[:16], shard_world_keys(7, 3, False, 0, 16))
+        assert np.array_equal(keys[32:], shard_world_keys(7, 3, False, 2, 8))
+
+    def test_keyed_chunk_rows_alias_deprecated(self):
+        with pytest.warns(DeprecationWarning, match="KEYED_CHUNK_ROWS"):
+            value = batch_walks.KEYED_CHUNK_ROWS
+        assert value == KEYED_CHUNK_MIN_ROWS
+
+    def test_unknown_module_attribute_still_raises(self):
+        with pytest.raises(AttributeError):
+            batch_walks.NOT_A_REAL_NAME
+
+
+class TestNumbaKernel:
+    """Exercised only where numba is installed (the optional CI leg)."""
+
+    def test_numba_bit_identity(self):
+        pytest.importorskip("numba")
+        csr = GRAPHS["sparse"]
+        sources, keys = keyed_request(csr, 600, seed=13)
+        for length in (0, 1, 7):
+            expected = reference_walks(csr, sources, length, keys)
+            got = sample_walk_matrix_keyed(csr, sources, length, keys, kernel="numba")
+            assert np.array_equal(got, expected), length
+
+    def test_numba_extreme_probabilities(self):
+        pytest.importorskip("numba")
+        csr = GRAPHS["extreme"]
+        sources, keys = keyed_request(csr, 400, seed=14)
+        expected = reference_walks(csr, sources, 9, keys)
+        got = sample_walk_matrix_keyed(csr, sources, 9, keys, kernel="numba")
+        assert np.array_equal(got, expected)
